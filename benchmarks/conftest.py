@@ -1,0 +1,51 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+All figures share one :class:`~repro.analysis.figures.ExperimentRunner`, so
+a simulation for (workload, config) runs exactly once per session no matter
+how many figures consume it.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE``  -- "ci", "bench" (default) or "paper"
+* ``REPRO_BENCH_WORKLOADS`` -- comma-separated subset of Table 1 names
+* ``REPRO_BENCH_PARALLEL`` -- worker processes for the simulation grid
+  (default: cpu_count - 1)
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.figures import ExperimentRunner
+from repro.config import paper_config
+from repro.workloads import workload_names
+
+
+def _scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "bench")
+
+
+def _workloads() -> list[str]:
+    env = os.environ.get("REPRO_BENCH_WORKLOADS")
+    if env:
+        return [w.strip() for w in env.split(",") if w.strip()]
+    return workload_names()
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return _scale()
+
+
+@pytest.fixture(scope="session")
+def bench_workloads() -> list[str]:
+    return _workloads()
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    parallel = int(os.environ.get("REPRO_BENCH_PARALLEL",
+                                  max(1, (os.cpu_count() or 1) - 1)))
+    return ExperimentRunner(base=paper_config(), scale=_scale(),
+                            workloads=_workloads(), verbose=True,
+                            parallel=parallel)

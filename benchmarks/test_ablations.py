@@ -1,0 +1,99 @@
+"""Ablations beyond the paper's figures, for the design choices the paper
+discusses in prose:
+
+* target-NSU selection policy inside the full simulator (Figure 5 showed
+  the analytic bound; here we measure end-to-end),
+* the NSU read-only cache the paper suggests for BPROP (Section 7.1),
+* Algorithm 1 epoch-length sensitivity (Section 7.2 assumes "sufficiently
+  large epoch length").
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import paper_config
+from repro.sim.runner import run_workload
+
+
+def _scale(request):
+    import os
+
+    return os.environ.get("REPRO_BENCH_SCALE", "bench")
+
+
+def test_target_policy_ablation(benchmark, scale):
+    """Oracle target selection vs. the paper's first-access policy."""
+
+    def run():
+        base = paper_config()
+        first = run_workload("BFS", "NDP(0.6)", base=base, scale=scale)
+        opt = run_workload("BFS", "NDP(0.6)",
+                           base=base.with_target_policy("optimal"),
+                           scale=scale)
+        return first, opt
+
+    first, opt = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = first.traffic.mem_net / max(1, opt.traffic.mem_net)
+    print(f"\nmemory-network bytes: first={first.traffic.mem_net:,d} "
+          f"optimal={opt.traffic.mem_net:,d} (ratio {ratio:.3f})")
+    print(f"cycles: first={first.cycles:,d} optimal={opt.cycles:,d}")
+    # The oracle should not move *more* data, and the paper's policy
+    # should be within the ~15% analytic bound of Figure 5 plus margin.
+    assert opt.traffic.mem_net <= first.traffic.mem_net * 1.001
+    assert ratio <= 1.5
+
+
+def test_nsu_readonly_cache_rescues_bprop(benchmark, scale):
+    """Section 7.1: BPROP's constant structure stops being re-shipped."""
+
+    def run():
+        base = paper_config()
+        without = run_workload("BPROP", "NDP(0.6)", base=base, scale=scale)
+        with_ro = run_workload("BPROP", "NDP(0.6)",
+                               base=base.with_ro_cache(4096), scale=scale)
+        return without, with_ro
+
+    without, with_ro = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nGPU-link bytes without ro-cache: {without.traffic.gpu_link:,d}")
+    print(f"GPU-link bytes with    ro-cache: {with_ro.traffic.gpu_link:,d}")
+    print(f"cycles {without.cycles:,d} -> {with_ro.cycles:,d}")
+    # The headline claim is the traffic cut (the re-shipped structure
+    # stops crossing the GPU links); at ratio 0.6 BPROP is
+    # NSU-throughput-bound, so runtime only has to stay in the same
+    # ballpark -- the freed link bandwidth pays off at higher ratios or
+    # more powerful NSUs.
+    assert with_ro.traffic.gpu_link < 0.8 * without.traffic.gpu_link
+    assert with_ro.cycles <= without.cycles * 1.10
+
+
+def test_epoch_length_sensitivity(benchmark, scale):
+    """Algorithm 1 should be robust across a range of epoch lengths."""
+    import dataclasses as dc
+
+    from repro.sim.runner import make_config
+    from repro.sim.system import System
+    from repro.workloads import get_workload
+
+    def run():
+        out = {}
+        for epoch in (1000, 4000, 16000):
+            cfg = make_config("NDP(Dyn)", paper_config())
+            cfg = dc.replace(cfg, ndp=dc.replace(cfg.ndp,
+                                                 epoch_cycles=epoch))
+            system = System(cfg, config_name=f"NDP(Dyn)@{epoch}")
+            inst = get_workload("VADD").build(cfg, scale)
+            system.set_code_layout(inst.blocks)
+            system.load_workload(inst.name, inst.traces)
+            out[epoch] = system.run()
+        base = run_workload("VADD", "Baseline", base=paper_config(),
+                            scale=scale)
+        return base, out
+
+    base, out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for epoch, r in out.items():
+        print(f"epoch {epoch:6d}: speedup {base.cycles / r.cycles:5.2f}x "
+              f"final ratio {r.extra['final_ratio']:.2f}")
+    # No epoch choice should tank below baseline by a wide margin.
+    assert all(base.cycles / r.cycles > 0.8 for r in out.values())

@@ -1,0 +1,35 @@
+"""Figure 10: normalized energy for baselines and NDP mechanisms.
+
+Paper claims: Baseline_MoreCore burns about the same energy as Baseline
+(runtime gain offset by more SMs); NDP(Dyn) cuts energy ~7.5% on average
+(up to 37.6% for KMN); NDP(Dyn)_Cache reaches ~8.6%; the accounting
+includes the extra memory-network links and NDP traffic.
+"""
+
+from repro.analysis.figures import FIG10_CONFIGS, figure10, geomean
+
+
+def test_figure10(benchmark, runner, bench_workloads):
+    data = benchmark.pedantic(figure10, args=(runner,), rounds=1,
+                              iterations=1)
+    print("\nFigure 10: energy normalized to each workload's Baseline")
+    comps = ("GPU", "NSU", "Intra-HMC NoC", "Off-chip ICNT", "DRAM", "Total")
+    for w in bench_workloads:
+        for c in FIG10_CONFIGS:
+            row = data[w][c]
+            print(f"{w:8s} {c:18s} " + " ".join(
+                f"{k}={row[k]:.3f}" for k in comps))
+    print("GMEAN totals:",
+          {c: round(data['GMEAN'][c]['Total'], 3) for c in FIG10_CONFIGS})
+
+    # MoreCore: roughly energy-neutral.
+    assert 0.9 <= data["GMEAN"]["Baseline_MoreCore"]["Total"] <= 1.1
+    # The cache-aware dynamic mechanism saves energy on average.
+    assert data["GMEAN"]["NDP(Dyn)_Cache"]["Total"] < 1.0
+    # Somebody saves a lot (paper: KMN -37.6%).
+    best = min(data[w]["NDP(Dyn)_Cache"]["Total"] for w in bench_workloads)
+    assert best < 0.9
+    # Component sanity: NSU energy exists only under NDP and stays small.
+    for w in bench_workloads:
+        assert data[w]["Baseline"]["NSU"] == 0.0
+        assert data[w]["NDP(Dyn)_Cache"]["NSU"] < 0.2

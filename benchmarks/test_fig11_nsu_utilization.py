@@ -1,0 +1,28 @@
+"""Figure 11: NSU I-cache utilization and warp occupancy.
+
+Paper claims: the offloaded instruction footprint is small (avg 23.7% of
+the 4 KB I-cache) and SIMD thread occupancy is low (at most 39.3%, avg
+22.1% of the 48 slots) -- so the NSU can be implemented cheaply.
+"""
+
+from repro.analysis.figures import figure11
+
+
+def test_figure11(benchmark, runner, bench_workloads):
+    data = benchmark.pedantic(figure11, args=(runner,), rounds=1,
+                              iterations=1)
+    print("\nFigure 11: NSU I-cache utilization / warp occupancy")
+    for w, row in data.items():
+        print(f"{w:8s} icache {row['icache_utilization']:6.1%}  "
+              f"occupancy {row['warp_occupancy']:6.1%}")
+
+    # The instruction footprint never comes close to filling the I-cache.
+    assert data["AVG"]["icache_utilization"] < 0.6
+    for w in bench_workloads:
+        assert data[w]["icache_utilization"] <= 1.0
+    # Occupancy stays well below the 48 slots on average.
+    assert data["AVG"]["warp_occupancy"] < 0.6
+    # BPROP has the largest blocks (29+23 instrs) -> largest footprint.
+    if "BPROP" in bench_workloads and "VADD" in bench_workloads:
+        assert (data["BPROP"]["icache_utilization"]
+                >= data["VADD"]["icache_utilization"])

@@ -1,0 +1,28 @@
+"""Figure 7: performance of the naive NDP mechanism vs. baselines.
+
+Paper claims: Baseline_MoreCore helps <3% on everything except KMN, while
+NaiveNDP *degrades* performance across the board (by up to 86%, 52% on
+average) because warps pile up waiting for NSU acknowledgments.
+"""
+
+from repro.analysis.figures import figure7
+
+
+def test_figure7(benchmark, runner):
+    data = benchmark.pedantic(figure7, args=(runner,), rounds=1,
+                              iterations=1)
+    print("\nFigure 7: speedup over Baseline")
+    print(f"{'workload':8s} {'Baseline':>9s} {'MoreCore':>9s} {'NaiveNDP':>9s}")
+    for w, row in data.items():
+        print(f"{w:8s} {row['Baseline']:9.2f} "
+              f"{row['Baseline_MoreCore']:9.2f} {row['NaiveNDP']:9.2f}")
+
+    workloads = [w for w in data if w != "GMEAN"]
+    # NaiveNDP must lose on average -- the Section 6 result motivating
+    # the dynamic mechanisms.
+    assert data["GMEAN"]["NaiveNDP"] < 0.95
+    # It must lose on the clear majority of workloads.
+    losers = sum(data[w]["NaiveNDP"] < 1.0 for w in workloads)
+    assert losers >= 0.7 * len(workloads)
+    # More cores alone do not fix a bandwidth-bound GPU.
+    assert data["GMEAN"]["Baseline_MoreCore"] < 1.15

@@ -1,0 +1,38 @@
+"""Figure 8: breakdown of instruction no-issue cycles on the GPU.
+
+Paper claims: the baselines are dominated by dependency stalls (memory
+latency under a bandwidth bottleneck) with a small warp-idle share, while
+NaiveNDP blows up the warp-idle share because warps block at OFLD.END
+waiting for NSU acknowledgments.
+"""
+
+from repro.analysis.figures import figure8
+
+
+def test_figure8(benchmark, runner, bench_workloads):
+    data = benchmark.pedantic(figure8, args=(runner,), rounds=1,
+                              iterations=1)
+    print("\nFigure 8: no-issue cycles normalized to Baseline total")
+    hdr = f"{'workload':8s} {'config':18s} {'ExecBusy':>9s} " \
+          f"{'DepStall':>9s} {'WarpIdle':>9s}"
+    print(hdr)
+    for w, configs in data.items():
+        for c, b in configs.items():
+            print(f"{w:8s} {c:18s} {b['ExecUnitBusy']:9.2f} "
+                  f"{b['DependencyStall']:9.2f} {b['WarpIdle']:9.2f}")
+
+    dep_dominant = 0
+    idle_grows = 0
+    for w in bench_workloads:
+        base = data[w]["Baseline"]
+        naive = data[w]["NaiveNDP"]
+        # Baselines: dependency stalls are the largest category for
+        # most memory-intensive workloads.
+        if base["DependencyStall"] >= base["WarpIdle"]:
+            dep_dominant += 1
+        # NaiveNDP: warp-idle share grows vs. the baseline.
+        if naive["WarpIdle"] > base["WarpIdle"]:
+            idle_grows += 1
+    n = len(bench_workloads)
+    assert dep_dominant >= 0.7 * n
+    assert idle_grows >= 0.8 * n

@@ -1,0 +1,20 @@
+"""Section 7.5: hardware overhead of the SM-side NDP packet buffers.
+
+Paper claims: 2.84 KB per SM for the pending+ready packet buffers, only
+1.8% of total on-chip storage.
+"""
+
+import pytest
+
+from repro.analysis.tables import hardware_overhead
+
+
+def test_hw_overhead(benchmark):
+    hw = benchmark.pedantic(hardware_overhead, rounds=1, iterations=1)
+    print(f"\nSection 7.5: per-SM buffer storage {hw['per_sm_kb']:.2f} KB, "
+          f"{hw['overhead_fraction']:.1%} of on-chip storage")
+    # 8B x 300 pending + 8B x 64 ready = 2912 B = 2.84 KB (exact).
+    assert hw["per_sm_bytes"] == 2912
+    assert hw["per_sm_kb"] == pytest.approx(2.84, abs=0.01)
+    # ~1.8% of on-chip storage.
+    assert hw["overhead_fraction"] == pytest.approx(0.018, abs=0.004)

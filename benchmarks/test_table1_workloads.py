@@ -1,0 +1,27 @@
+"""Table 1: evaluated workloads and their offload-block NSU instruction
+counts, regenerated from the workload models by the static analyzer."""
+
+from repro.analysis.tables import format_table, table1
+
+#: The paper's published per-block counts.
+PAPER_COUNTS = {
+    "BPROP": "29,23",
+    "BFS": "1,1,16",
+    "BICG": "4,4",
+    "FWT": "16,4",
+    "KMN": "3",
+    "MiniFE": "3",
+    "SP": "3",
+    "STN": "15",
+    "STCL": "3,9,1,1",
+    "VADD": "4",
+}
+
+
+def test_table1(benchmark):
+    rows = benchmark.pedantic(table1, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, "Table 1: Evaluated workloads"))
+    for row in rows:
+        assert row["# of instr. in offload blocks"] == \
+            PAPER_COUNTS[row["Abbr."]], row["Abbr."]

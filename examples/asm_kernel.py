@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Author a kernel in assembly text and run it under NDP.
+
+The library accepts kernels written in a PTX-flavoured assembly format
+(``repro.isa.asm``): write the kernel as text, let the static analyzer
+extract offload blocks, attach address streams, and simulate.  This
+example implements a streaming triad with a divergent gather
+(``out[i] = a[i] + table[idx[i]]``) entirely from text.
+
+Run:  python examples/asm_kernel.py
+"""
+
+import numpy as np
+
+from repro.config import WORD_SIZE, ci_config
+from repro.isa.asm import assemble, disassemble
+from repro.sim.runner import run_workload
+from repro.workloads import ArrayLayout, Scale, WorkloadModel
+from repro.workloads.patterns import indirect_divergent, streaming
+
+TRIAD_ASM = """
+.kernel gather_triad
+.block load_index
+    ld   r4, [idx + r0]        # streaming index load
+    add  r10, r4               # addr table[idx] (GPU-side addr calc)
+    ld.ind r5, [table + r10]   # divergent gather
+    bra
+.block combine
+    ld   r6, [a + r1]          # streaming operand
+    add  r7, r5, r6
+    add  r11, r2               # addr out
+    st   [out + r11], r7
+"""
+
+
+class GatherTriad(WorkloadModel):
+    name = "GatherTriad"
+
+    def kernel(self):
+        return assemble(TRIAD_ASM)
+
+    def layout(self, scale: Scale) -> ArrayLayout:
+        arrays = ArrayLayout()
+        n = scale.num_warps * scale.iters * 32 * WORD_SIZE
+        arrays.add("idx", n)
+        arrays.add("table", max(1 << 20, 8 * n))
+        arrays.add("a", n)
+        arrays.add("out", n)
+        return arrays
+
+    def mem_addrs(self, instr, arrays, ctx) -> np.ndarray:
+        if instr.array == "table":
+            return indirect_divergent(arrays, "table", ctx)
+        return streaming(arrays, instr.array, ctx)
+
+
+def main() -> None:
+    cfg = ci_config()
+    triad = GatherTriad()
+    kernel = triad.kernel()
+    print("parsed kernel (round-tripped through the disassembler):")
+    print(disassemble(kernel))
+    print()
+
+    instance = triad.build(cfg, "ci")
+    print("analyzer extracted NSU block bodies:",
+          instance.analyzed.nsu_body_lengths)
+    for blk in instance.blocks:
+        kind = "single indirect gather" if blk.has_indirect_load else \
+               "regular block"
+        print(f"  block {blk.block_id}: {blk.nsu_body_len} NSU instrs "
+              f"({kind}, reason={blk.candidate.reason})")
+    print()
+
+    base = run_workload(triad, "Baseline", base=cfg, scale="ci")
+    ndp = run_workload(triad, "NDP(0.6)", base=cfg, scale="ci")
+    print(f"Baseline : {base.cycles:7d} cycles, "
+          f"GPU off-chip {base.traffic.gpu_link:9,d} B")
+    print(f"NDP(0.6) : {ndp.cycles:7d} cycles, "
+          f"GPU off-chip {ndp.traffic.gpu_link:9,d} B")
+    print(f"speedup {ndp.speedup_over(base):.2f}x")
+
+
+if __name__ == "__main__":
+    main()

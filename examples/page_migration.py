@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Dynamic memory management during NDP (paper Section 4.1.1).
+
+Modern GPUs migrate pages between host and device memory at runtime.  The
+paper's rule: before a newly swapped-in page on stack H becomes writable,
+all in-flight WTA packets to H must drain (tracked by per-HMC counters
+decremented as invalidation messages return), while accesses to every
+other stack continue unimpeded.  The multi-microsecond external fetch
+usually hides the drain entirely.
+
+This example runs an NDP workload, injects page swap-ins against a busy
+stack mid-run, and reports how long each swap waited on WTA drain vs. the
+external fetch.
+
+Run:  python examples/page_migration.py
+"""
+
+from repro.config import ci_config
+from repro.core.coherence import PageMigrationGuard
+from repro.sim.runner import make_config
+from repro.sim.system import System
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    cfg = make_config("NaiveNDP", ci_config())
+    system = System(cfg, config_name="NaiveNDP")
+    inst = get_workload("VADD").build(cfg, "ci")
+    system.set_code_layout(inst.blocks)
+    system.load_workload(inst.name, inst.traces)
+    guard = PageMigrationGuard(system.engine, system.ndp)
+
+    completions: list[tuple[int, int, int]] = []   # (hmc, requested, ready)
+
+    def schedule_swaps() -> None:
+        # Fire one swap-in per stack at staggered points of the run.
+        for hmc in range(cfg.num_hmcs):
+            at = 50 + 40 * hmc
+            system.engine.at(at, lambda h=hmc, t=at: guard.swap_in_page(
+                h,
+                lambda: completions.append((h, t, system.engine.now)),
+                fetch_latency=200))
+
+    schedule_swaps()
+    result = system.run()
+
+    print(f"run finished in {result.cycles:,d} cycles with "
+          f"{result.offloads_issued} offloaded blocks\n")
+    print(f"{'stack':>5s} {'requested':>10s} {'ready':>7s} "
+          f"{'latency':>8s} {'note'}")
+    for hmc, t0, t1 in sorted(completions):
+        lat = t1 - t0
+        note = ("fetch-bound (drain hidden)" if lat == 200
+                else f"waited {lat - 200} cycles extra for WTA drain")
+        print(f"{hmc:5d} {t0:10d} {t1:7d} {lat:8d} {note}")
+    print(f"\nswaps observed in-flight WTA packets on arrival: "
+          f"{guard.stalled_swaps}/{guard.swaps}")
+    print("Reads and writes to all other stacks proceeded throughout --")
+    print("the counters gate only the migrated page's home stack.")
+
+
+if __name__ == "__main__":
+    main()

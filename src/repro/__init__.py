@@ -1,0 +1,41 @@
+"""repro -- reproduction of "Toward Standardized Near-Data Processing with
+Unrestricted Data Placement for GPUs" (Kim, Chatterjee, O'Connor, Hsieh;
+SC 2017).
+
+Public API quick reference
+--------------------------
+
+Configuration::
+
+    from repro.config import paper_config, ci_config, OffloadMode
+
+Run a workload under a named configuration::
+
+    from repro.sim.runner import run_workload
+    result = run_workload("KMN", "NDP(Dyn)_Cache", scale="bench")
+
+Regenerate a paper artifact::
+
+    from repro.analysis import ExperimentRunner, figure9
+    data = figure9(ExperimentRunner(scale="bench"))
+
+Author a new workload: subclass :class:`repro.workloads.WorkloadModel`
+(see ``examples/custom_workload.py``).
+"""
+
+__version__ = "1.0.0"
+
+from repro.config import (
+    OffloadMode,
+    SystemConfig,
+    ci_config,
+    paper_config,
+)
+
+__all__ = [
+    "OffloadMode",
+    "SystemConfig",
+    "ci_config",
+    "paper_config",
+    "__version__",
+]

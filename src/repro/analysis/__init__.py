@@ -1,0 +1,39 @@
+"""Experiment harness: one regenerator per paper table/figure."""
+
+from repro.analysis.figures import (
+    ExperimentRunner,
+    figure5,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    coherence_overhead,
+    bigger_gpu,
+    nsu_frequency,
+    geomean,
+)
+from repro.analysis.tables import (
+    table1,
+    table2,
+    hardware_overhead,
+    format_table,
+)
+
+__all__ = [
+    "ExperimentRunner",
+    "figure5",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "coherence_overhead",
+    "bigger_gpu",
+    "nsu_frequency",
+    "geomean",
+    "table1",
+    "table2",
+    "hardware_overhead",
+    "format_table",
+]

@@ -1,0 +1,246 @@
+"""Regenerators for every figure of the paper's evaluation.
+
+Each ``figureN`` function returns plain dicts of series, in the same shape
+the paper plots; the benchmark harness prints them and asserts the
+qualitative claims.  :class:`ExperimentRunner` caches simulation results so
+figures that share runs (7, 8, 9, 10, 11 all reuse the same sweeps) only
+simulate once per (workload, config).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.config import SystemConfig, paper_config
+from repro.core.target_select import target_policy_traffic_study
+from repro.energy import compute_energy
+from repro.sim.results import RunResult
+from repro.sim.runner import make_config, run_workload
+from repro.workloads import workload_names
+
+#: Figure 9's configuration columns, in plot order.
+FIG9_CONFIGS = ("Baseline", "Baseline_MoreCore", "NDP(0.2)", "NDP(0.4)",
+                "NDP(0.6)", "NDP(0.8)", "NDP(1.0)", "NDP(Dyn)",
+                "NDP(Dyn)_Cache")
+
+
+def geomean(values) -> float:
+    vals = [v for v in values]
+    if not vals:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def _run_cell(args) -> "RunResult":
+    """Module-level worker for parallel prefetching (must be picklable)."""
+    workload, config, base, scale, max_cycles = args
+    return run_workload(workload, config, base=base, scale=scale,
+                        max_cycles=max_cycles)
+
+
+class ExperimentRunner:
+    """Caches one simulation per (workload, config name).
+
+    With ``parallel > 1`` the :meth:`prefetch` method fans independent
+    (workload, config) cells out over a process pool; on a single-core
+    machine it degrades to serial execution.
+    """
+
+    def __init__(self, base: SystemConfig | None = None,
+                 scale: str = "bench", workloads=None,
+                 max_cycles: int = 20_000_000, verbose: bool = False,
+                 parallel: int = 1) -> None:
+        self.base = base or paper_config()
+        self.scale = scale
+        self.workloads = list(workloads or workload_names())
+        self.max_cycles = max_cycles
+        self.verbose = verbose
+        self.parallel = max(1, parallel)
+        self._cache: dict[tuple[str, str], RunResult] = {}
+
+    def result(self, workload: str, config: str) -> RunResult:
+        key = (workload, config)
+        if key not in self._cache:
+            if self.verbose:  # pragma: no cover - progress chatter
+                print(f"  simulating {workload} / {config} ...", flush=True)
+            self._cache[key] = run_workload(
+                workload, config, base=self.base, scale=self.scale,
+                max_cycles=self.max_cycles)
+        return self._cache[key]
+
+    def prefetch(self, configs, workloads=None) -> None:
+        """Simulate a grid of cells up-front, in parallel when enabled."""
+        workloads = list(workloads or self.workloads)
+        todo = [(w, c) for w in workloads for c in configs
+                if (w, c) not in self._cache]
+        if not todo:
+            return
+        if self.parallel <= 1:
+            for w, c in todo:
+                self.result(w, c)
+            return
+        import concurrent.futures as cf
+
+        args = [(w, c, self.base, self.scale, self.max_cycles)
+                for w, c in todo]
+        with cf.ProcessPoolExecutor(max_workers=self.parallel) as pool:
+            for (w, c), res in zip(todo, pool.map(_run_cell, args)):
+                if self.verbose:  # pragma: no cover
+                    print(f"  [parallel] {w} / {c} done", flush=True)
+                self._cache[(w, c)] = res
+
+    def speedup(self, workload: str, config: str) -> float:
+        return self.result(workload, config).speedup_over(
+            self.result(workload, "Baseline"))
+
+    def config(self, name: str) -> SystemConfig:
+        return make_config(name, self.base)
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: target-NSU selection policy vs. traffic
+# ---------------------------------------------------------------------------
+
+def figure5(num_hmcs: int = 8, trials: int = 20_000) -> dict:
+    """Normalized inter-stack traffic of the first-HMC policy vs. the
+    optimal policy as the number of memory accesses per block varies."""
+    return target_policy_traffic_study(
+        num_hmcs=num_hmcs,
+        access_counts=tuple(range(1, 65)),
+        trials=trials)
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: naive NDP vs. baselines
+# ---------------------------------------------------------------------------
+
+def figure7(runner: ExperimentRunner) -> dict:
+    """Speedup (runtime ratio vs. Baseline) of Baseline_MoreCore and
+    NaiveNDP for every workload, plus the geometric mean row."""
+    configs = ("Baseline", "Baseline_MoreCore", "NaiveNDP")
+    runner.prefetch(configs)
+    out: dict[str, dict[str, float]] = {}
+    for w in runner.workloads:
+        out[w] = {c: runner.speedup(w, c) for c in configs}
+    out["GMEAN"] = {
+        c: geomean(out[w][c] for w in runner.workloads) for c in configs}
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: no-issue cycle breakdown
+# ---------------------------------------------------------------------------
+
+def figure8(runner: ExperimentRunner) -> dict:
+    """Per-workload, per-config no-issue-cycle breakdown normalized to the
+    Baseline's total no-issue cycles (the figure's y axis)."""
+    configs = ("Baseline", "Baseline_MoreCore", "NaiveNDP")
+    out: dict[str, dict[str, dict[str, float]]] = {}
+    for w in runner.workloads:
+        base_total = max(1, runner.result(w, "Baseline").stalls.total)
+        out[w] = {}
+        for c in configs:
+            s = runner.result(w, c).stalls
+            out[w][c] = {k: v / base_total for k, v in s.as_dict().items()}
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: offload-ratio sweep + dynamic mechanisms
+# ---------------------------------------------------------------------------
+
+def figure9(runner: ExperimentRunner) -> dict:
+    runner.prefetch(FIG9_CONFIGS)
+    out: dict[str, dict[str, float]] = {}
+    for w in runner.workloads:
+        out[w] = {c: runner.speedup(w, c) for c in FIG9_CONFIGS}
+    out["GMEAN"] = {
+        c: geomean(out[w][c] for w in runner.workloads)
+        for c in FIG9_CONFIGS}
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 10: energy
+# ---------------------------------------------------------------------------
+
+FIG10_CONFIGS = ("Baseline", "Baseline_MoreCore", "NDP(Dyn)",
+                 "NDP(Dyn)_Cache")
+
+
+def figure10(runner: ExperimentRunner) -> dict:
+    """Energy breakdown per workload and config, normalized to the
+    workload's Baseline total (the Figure 10 stacks)."""
+    out: dict[str, dict[str, dict[str, float]]] = {}
+    for w in runner.workloads:
+        base_cfg = runner.config("Baseline")
+        base_e = compute_energy(runner.result(w, "Baseline"), base_cfg)
+        out[w] = {}
+        for c in FIG10_CONFIGS:
+            e = compute_energy(runner.result(w, c), runner.config(c))
+            out[w][c] = e.normalized_to(base_e)
+    gm = {}
+    for c in FIG10_CONFIGS:
+        gm[c] = {"Total": geomean(out[w][c]["Total"]
+                                  for w in runner.workloads)}
+    out["GMEAN"] = gm
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 11: NSU I-cache utilization and warp occupancy
+# ---------------------------------------------------------------------------
+
+def figure11(runner: ExperimentRunner, config: str = "NDP(Dyn)_Cache") -> dict:
+    out: dict[str, dict[str, float]] = {}
+    for w in runner.workloads:
+        r = runner.result(w, config)
+        out[w] = {
+            "icache_utilization": r.nsu_icache_utilization,
+            "warp_occupancy": r.avg_nsu_occupancy,
+        }
+    out["AVG"] = {
+        k: sum(out[w][k] for w in runner.workloads) / len(runner.workloads)
+        for k in ("icache_utilization", "warp_occupancy")}
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Section 4.2: invalidation traffic overhead
+# ---------------------------------------------------------------------------
+
+def coherence_overhead(runner: ExperimentRunner,
+                       config: str = "NDP(Dyn)_Cache") -> dict:
+    out = {w: runner.result(w, config).invalidation_overhead
+           for w in runner.workloads}
+    out["AVG"] = sum(out[w] for w in runner.workloads) / len(runner.workloads)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Section 7.3: a more powerful GPU (2x compute units)
+# ---------------------------------------------------------------------------
+
+def bigger_gpu(runner_factory=None, base: SystemConfig | None = None,
+               scale: str = "bench", workloads=None) -> dict:
+    """Speedup of NDP(Dyn)_Cache over Baseline when the SM count doubles."""
+    base = base or paper_config()
+    big = base.scaled_gpu(num_sms=base.gpu.num_sms * 2)
+    runner = ExperimentRunner(base=big, scale=scale, workloads=workloads)
+    out = {w: runner.speedup(w, "NDP(Dyn)_Cache") for w in runner.workloads}
+    out["GMEAN"] = geomean(out[w] for w in runner.workloads)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Section 7.6: NSU frequency sensitivity (350 -> 175 MHz)
+# ---------------------------------------------------------------------------
+
+def nsu_frequency(base: SystemConfig | None = None, scale: str = "bench",
+                  workloads=None, clock_mhz: float = 175.0) -> dict:
+    base = base or paper_config()
+    slow = base.with_nsu_clock(clock_mhz)
+    runner = ExperimentRunner(base=slow, scale=scale, workloads=workloads)
+    out = {w: runner.speedup(w, "NDP(Dyn)_Cache") for w in runner.workloads}
+    out["GMEAN"] = geomean(out[w] for w in runner.workloads)
+    return out

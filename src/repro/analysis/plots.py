@@ -1,0 +1,88 @@
+"""Terminal-friendly chart rendering for the figure regenerators.
+
+The paper's figures are bar charts and line plots; these helpers render
+them as aligned ASCII so the CLI and the benchmark output are readable
+without matplotlib (which this environment does not ship).
+"""
+
+from __future__ import annotations
+
+
+def hbar(value: float, vmax: float, width: int = 40, fill: str = "#") -> str:
+    """One horizontal bar scaled to ``vmax``."""
+    if vmax <= 0:
+        return ""
+    n = int(round(min(value, vmax) / vmax * width))
+    return fill * n
+
+
+def bar_chart(series: dict[str, float], *, width: int = 40,
+              title: str = "", fmt: str = "{:.2f}",
+              baseline: float | None = None) -> str:
+    """Render ``label -> value`` as a horizontal bar chart.
+
+    ``baseline`` draws a reference tick (e.g. 1.0 for speedup charts).
+    """
+    if not series:
+        return title
+    vmax = max(max(series.values()), baseline or 0.0)
+    label_w = max(len(str(k)) for k in series)
+    lines = [title] if title else []
+    for k, v in series.items():
+        bar = hbar(v, vmax, width)
+        mark = ""
+        if baseline is not None:
+            tick = int(round(baseline / vmax * width))
+            if tick >= len(bar):
+                bar = bar + " " * (tick - len(bar)) + "|"
+            else:
+                bar = bar[:tick] + "|" + bar[tick + 1:]
+            mark = ""
+        lines.append(f"{k:<{label_w}} {fmt.format(v):>7} {bar}{mark}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(data: dict[str, dict[str, float]], *,
+                      width: int = 30, title: str = "",
+                      fmt: str = "{:.2f}") -> str:
+    """Render ``group -> {label -> value}`` (e.g. workload -> config)."""
+    lines = [title] if title else []
+    vmax = max((v for row in data.values() for v in row.values()),
+               default=1.0)
+    label_w = max((len(k) for row in data.values() for k in row), default=4)
+    for group, row in data.items():
+        lines.append(f"{group}:")
+        for k, v in row.items():
+            lines.append(f"  {k:<{label_w}} {fmt.format(v):>7} "
+                         f"{hbar(v, vmax, width)}")
+    return "\n".join(lines)
+
+
+def line_plot(xs, ys_by_series: dict[str, list], *, height: int = 12,
+              width: int = 64, title: str = "") -> str:
+    """Plot one or more series as ASCII scatter lines over shared axes."""
+    pts = [v for ys in ys_by_series.values() for v in ys]
+    if not pts:
+        return title
+    ymin, ymax = min(pts), max(pts)
+    if ymax == ymin:
+        ymax = ymin + 1.0
+    xmin, xmax = min(xs), max(xs)
+    grid = [[" "] * width for _ in range(height)]
+    marks = "*+ox@"
+    for si, (name, ys) in enumerate(ys_by_series.items()):
+        m = marks[si % len(marks)]
+        for x, y in zip(xs, ys):
+            col = int((x - xmin) / max(1e-12, xmax - xmin) * (width - 1))
+            row = int((y - ymin) / (ymax - ymin) * (height - 1))
+            grid[height - 1 - row][col] = m
+    lines = [title] if title else []
+    lines.append(f"{ymax:8.3f} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 9 + "|" + "".join(row))
+    lines.append(f"{ymin:8.3f} +" + "-" * width)
+    lines.append(" " * 10 + f"{xmin:<8g}" + " " * (width - 16) + f"{xmax:>8g}")
+    legend = "   ".join(f"{marks[i % len(marks)]} {name}"
+                        for i, name in enumerate(ys_by_series))
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""Hierarchical statistics dump of a finished system (gem5-style).
+
+``dump_stats(system, result)`` renders every component's counters as an
+indented text tree -- caches, MSHRs, links, vaults, NSUs, NDP controller --
+for debugging and for archaeology on archived runs.  Available from the
+CLI via ``python -m repro run ... --stats``.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.sim.results import RunResult
+
+
+def _w(buf: io.StringIO, depth: int, key: str, value) -> None:
+    pad = "  " * depth
+    if isinstance(value, float):
+        value = f"{value:.4f}"
+    buf.write(f"{pad}{key:<34s} {value}\n")
+
+
+def dump_stats(system, result: RunResult) -> str:
+    buf = io.StringIO()
+    cfg = system.cfg
+    buf.write(f"==== {result.workload} / {result.config_name} ====\n")
+    _w(buf, 0, "cycles", result.cycles)
+    _w(buf, 0, "instructions(gpu)", result.instructions)
+    _w(buf, 0, "instructions(nsu)", result.nsu_instructions)
+    _w(buf, 0, "ipc", result.ipc)
+    _w(buf, 0, "warps_completed", result.warps_completed)
+
+    buf.write("stalls:\n")
+    for k, v in result.stalls.as_dict().items():
+        _w(buf, 1, k, v)
+
+    buf.write("gpu.caches:\n")
+    l1, l2 = system.memsys.l1_stats, system.memsys.l2_stats
+    for name, s in (("l1", l1), ("l2", l2)):
+        _w(buf, 1, f"{name}.hits", s.hits)
+        _w(buf, 1, f"{name}.misses", s.misses)
+        _w(buf, 1, f"{name}.hit_rate", s.hit_rate)
+        _w(buf, 1, f"{name}.mshr_merges", s.mshr_merges)
+        _w(buf, 1, f"{name}.mshr_rejects", s.mshr_rejects)
+        _w(buf, 1, f"{name}.probes", s.accesses_probe)
+        _w(buf, 1, f"{name}.invalidations", s.invalidations)
+
+    buf.write("gpu.links:\n")
+    for i, (dn, up) in enumerate(zip(system.gpu_links.down,
+                                     system.gpu_links.up)):
+        _w(buf, 1, f"link{i}.down.bytes", dn.bytes_sent)
+        _w(buf, 1, f"link{i}.down.util", dn.utilization(result.cycles))
+        _w(buf, 1, f"link{i}.up.bytes", up.bytes_sent)
+        _w(buf, 1, f"link{i}.up.util", up.utilization(result.cycles))
+
+    buf.write("memory_network:\n")
+    _w(buf, 1, "total_bytes", system.network.total_bytes())
+    for (a, b), link in sorted(system.network._links.items()):
+        if link.bytes_sent:
+            _w(buf, 1, f"net{a}->{b}.bytes", link.bytes_sent)
+
+    buf.write("dram:\n")
+    for h in system.hmcs:
+        s = h.stats
+        _w(buf, 1, f"hmc{h.hmc_id}.reads", s.reads)
+        _w(buf, 1, f"hmc{h.hmc_id}.writes", s.writes)
+        _w(buf, 1, f"hmc{h.hmc_id}.activations", s.activations)
+        _w(buf, 1, f"hmc{h.hmc_id}.row_hit_rate", s.row_hit_rate)
+        _w(buf, 1, f"hmc{h.hmc_id}.queue_peak", s.queue_peak)
+
+    if system.ndp is not None:
+        buf.write("ndp:\n")
+        st = system.ndp.stats
+        for k in ("offloads", "acks", "rdf_packets", "rdf_hits",
+                  "wta_packets", "ndp_writes", "invalidations_sent",
+                  "pending_peak", "pending_rejects"):
+            _w(buf, 1, k, getattr(st, k))
+        _w(buf, 1, "reservations_granted",
+           system.ndp.credits.reservations_granted)
+        _w(buf, 1, "reservations_queued",
+           system.ndp.credits.reservations_queued)
+        buf.write("nsu:\n")
+        for nsu in system.nsus:
+            _w(buf, 1, f"nsu{nsu.hmc_id}.instructions", nsu.instructions)
+            _w(buf, 1, f"nsu{nsu.hmc_id}.cmds", nsu.cmds_received)
+            _w(buf, 1, f"nsu{nsu.hmc_id}.avg_occupancy",
+               nsu.avg_occupancy / max(1, nsu.num_slots))
+            _w(buf, 1, f"nsu{nsu.hmc_id}.icache_util",
+               nsu.icache_utilization)
+            _w(buf, 1, f"nsu{nsu.hmc_id}.readbuf_peak", nsu.read_buf.peak)
+            _w(buf, 1, f"nsu{nsu.hmc_id}.wtabuf_peak", nsu.wta_buf.peak)
+
+    buf.write("traffic:\n")
+    for k, v in result.traffic.as_dict().items():
+        _w(buf, 1, k, v)
+    return buf.getvalue()

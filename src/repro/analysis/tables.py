@@ -1,0 +1,122 @@
+"""Regenerators for the paper's tables and the §7.5 overhead numbers."""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig, onchip_storage_bytes, paper_config
+from repro.workloads import get_workload, workload_names
+
+#: Table 1 reference data: description and input problem (for the printed
+#: table; the instruction counts are *computed* from the models).
+TABLE1_META = {
+    "BPROP": ("512K points", "Back Propagation [Rodinia]"),
+    "BFS": ("1M nodes", "Breadth-first search [Rodinia]"),
+    "BICG": ("6Kx6K", "BiCGStab solver [Polybench]"),
+    "FWT": ("data: 2^22, kernel: 2^17", "Fast Walsh Transform [CUDA SDK]"),
+    "KMN": ("28k obj, 138 feat.", "K-means [Rodinia]"),
+    "MiniFE": ("128x64x64", "Finite element method [Mantevo]"),
+    "SP": ("512 32K-vectors", "Scalar product [CUDA SDK]"),
+    "STN": ("512x512x64 grid", "Stencil [Parboil]"),
+    "STCL": ("16k pts/blk, 1 blk", "Streamcluster [Rodinia]"),
+    "VADD": ("50M elements", "Vector addition [CUDA SDK]"),
+}
+
+
+def table1() -> list[dict]:
+    """Workloads with their *extracted* NSU instruction counts per block."""
+    from repro.config import ci_config
+
+    cfg = ci_config()
+    rows = []
+    for name in workload_names():
+        model = get_workload(name)
+        inst = model.build(cfg, "ci")
+        input_problem, desc = TABLE1_META[name]
+        rows.append({
+            "Abbr.": name,
+            "Input problem": input_problem,
+            "Description": desc,
+            "# of instr. in offload blocks": ",".join(
+                str(n) for n in inst.analyzed.nsu_body_lengths),
+        })
+    return rows
+
+
+def table2(cfg: SystemConfig | None = None) -> list[dict]:
+    """System configuration rows (the Table 2 content, from the config)."""
+    cfg = cfg or paper_config()
+    g, h, n = cfg.gpu, cfg.hmc, cfg.nsu
+    rows = [
+        ("# of SMs", f"{g.num_sms} SMs"),
+        ("# of HMCs", str(cfg.num_hmcs)),
+        ("Off-chip link BW",
+         f"{g.link_gbps_per_dir:.0f} GB/s per direction, "
+         f"{g.num_links} bidirectional links"),
+        ("SM", f"{g.warps_per_sm * g.warp_width} threads, "
+               f"{g.max_ctas_per_sm} CTAs, {g.registers_per_sm} registers, "
+               f"{g.scratchpad_bytes // 1024} KB scratchpad, "
+               f"warp width: {g.warp_width}"),
+        ("L1 inst. cache", f"{g.l1i.size_bytes // 1024} KB, {g.l1i.assoc}-way, "
+                           f"{g.l1i.line_size} B line, MSHR: {g.l1i.mshr_entries}"),
+        ("L1 data cache", f"{g.l1d.size_bytes // 1024} KB, {g.l1d.assoc}-way, "
+                          f"{g.l1d.line_size} B line, MSHR: {g.l1d.mshr_entries}"),
+        ("L2 cache", f"{g.l2.size_bytes // (1024 * 1024)} MB, {g.l2.assoc}-way, "
+                     f"{g.l2.line_size} B line, MSHR: {g.l2.mshr_entries}"),
+        ("SM, Xbar, L2 clock", f"{g.sm_clock_mhz:.0f}, {g.xbar_clock_mhz:.0f}, "
+                               f"{g.l2_clock_mhz:.0f} MHz"),
+        ("HMC organization", f"{h.num_layers} layers x {h.num_vaults} vaults, "
+                             f"{h.banks_per_vault} banks/vault"),
+        ("HMC memory size", f"{h.memory_bytes // 1024 ** 3} GB"),
+        ("Memory scheduler", f"FR-FCFS, vault request queue: {h.vault_queue_size}"),
+        ("DRAM timing", f"tCK={h.timing.tck_ns:.2f}ns, tRP={h.timing.tRP}, "
+                        f"tCCD={h.timing.tCCD}, tRCD={h.timing.tRCD}, "
+                        f"tCL={h.timing.tCL}, tWR={h.timing.tWR}, "
+                        f"tRAS={h.timing.tRAS}"),
+        ("HMC off-chip link BW", f"{h.link_gbps_per_dir:.0f} GB/s per direction, "
+                                 f"{h.num_links} bidirectional links"),
+        ("NSU", f"{n.clock_mhz:.0f} MHz, {n.num_warp_slots} warps, "
+                f"warp width: {n.warp_width}, "
+                f"{n.const_cache_bytes // 1024} KB constant cache, "
+                f"{n.icache_bytes // 1024} KB instruction cache"),
+        ("Buffers in GPU SM",
+         f"8 B x {cfg.sm_buffers.pending_entries} pending, "
+         f"8 B x {cfg.sm_buffers.ready_entries} ready"),
+        ("Buffers in NSU",
+         f"128 B x {n.read_data_entries} read data, "
+         f"128 B x {n.write_addr_entries} write address, "
+         f"{n.cmd_buffer_entries} offload command"),
+    ]
+    return [{"Parameter": k, "Value": v} for k, v in rows]
+
+
+def hardware_overhead(cfg: SystemConfig | None = None) -> dict:
+    """Section 7.5: per-SM NDP buffer storage and its share of on-chip
+    storage (paper: 2.84 KB/SM, 1.8% of total)."""
+    cfg = cfg or paper_config()
+    per_sm = cfg.sm_buffers.storage_bytes
+    total_ndp = per_sm * cfg.gpu.num_sms
+    onchip = onchip_storage_bytes(cfg)
+    return {
+        "per_sm_bytes": per_sm,
+        "per_sm_kb": per_sm / 1024,
+        "total_ndp_bytes": total_ndp,
+        "onchip_storage_bytes": onchip,
+        "overhead_fraction": total_ndp / (onchip + total_ndp),
+    }
+
+
+def format_table(rows: list[dict], title: str = "") -> str:
+    """Render a list of homogeneous dicts as an aligned text table."""
+    if not rows:
+        return title
+    cols = list(rows[0].keys())
+    widths = {c: max(len(str(c)), *(len(str(r[c])) for r in rows))
+              for c in cols}
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(f"{c:<{widths[c]}}" for c in cols)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[c] for c in cols))
+    for r in rows:
+        lines.append(" | ".join(f"{str(r[c]):<{widths[c]}}" for c in cols))
+    return "\n".join(lines)

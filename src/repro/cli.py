@@ -1,0 +1,257 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+
+* ``list``                              -- workloads and configurations
+* ``run WORKLOAD CONFIG``               -- one simulation, full stats
+* ``sweep WORKLOAD``                    -- all configs for one workload
+* ``table 1|2``                         -- regenerate a paper table
+* ``figure 5|7|8|9|10|11``              -- regenerate a paper figure
+* ``overhead``                          -- §7.5 hardware overhead
+
+Common flags: ``--scale ci|bench|paper``, ``--workloads A,B,...``,
+``--sms N``, ``--nsu-mhz F``, ``--ro-cache BYTES``,
+``--target-policy first|optimal``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import figures as F
+from repro.analysis import tables as T
+from repro.analysis.plots import bar_chart, line_plot
+from repro.config import paper_config
+from repro.energy import compute_energy
+from repro.sim.runner import config_variants, make_config, run_workload
+from repro.workloads import workload_names
+
+
+def _base_config(args):
+    cfg = paper_config()
+    if args.sms:
+        cfg = cfg.scaled_gpu(num_sms=args.sms)
+    if args.nsu_mhz:
+        cfg = cfg.with_nsu_clock(args.nsu_mhz)
+    if args.ro_cache:
+        cfg = cfg.with_ro_cache(args.ro_cache)
+    if args.target_policy:
+        cfg = cfg.with_target_policy(args.target_policy)
+    return cfg
+
+
+def _runner(args) -> F.ExperimentRunner:
+    workloads = (args.workloads.split(",") if args.workloads
+                 else workload_names())
+    return F.ExperimentRunner(base=_base_config(args), scale=args.scale,
+                              workloads=workloads, verbose=True)
+
+
+def cmd_list(args) -> int:
+    print("workloads:     ", ", ".join(workload_names()))
+    print("configurations:", ", ".join(sorted(
+        config_variants(paper_config()))))
+    print("scales:         ci, bench, paper")
+    return 0
+
+
+def cmd_run(args) -> int:
+    cfg = _base_config(args)
+    if args.stats or args.trace:
+        from repro.sim.runner import EPOCH_BY_SCALE
+        from repro.sim.system import System
+        from repro.workloads import get_workload
+        import dataclasses as dc
+
+        full = make_config(args.config, cfg)
+        epoch = EPOCH_BY_SCALE.get(args.scale)
+        if epoch:
+            full = dc.replace(full, ndp=dc.replace(full.ndp,
+                                                   epoch_cycles=epoch))
+        system = System(full, config_name=args.config)
+        inst = get_workload(args.workload).build(full, args.scale)
+        system.set_code_layout(inst.blocks)
+        system.load_workload(inst.name, inst.traces)
+        trace = None
+        if args.trace and system.ndp is not None:
+            from repro.sim.tracing import MessageTrace
+
+            trace = MessageTrace()
+            system.ndp.trace = trace
+        r = system.run()
+        if args.stats:
+            from repro.analysis.statsdump import dump_stats
+
+            print(dump_stats(system, r))
+        if trace is not None and trace.instances():
+            print(trace.timeline(trace.instances()[0]))
+            print("\nmessage summary:", trace.summary())
+        return 0
+    r = run_workload(args.workload, args.config, base=cfg,
+                     scale=args.scale)
+    print(f"{args.workload} / {args.config} @ {args.scale}")
+    print(f"  cycles            {r.cycles:>12,d}")
+    print(f"  instructions      {r.instructions:>12,d}   (IPC {r.ipc:.2f})")
+    print(f"  NSU instructions  {r.nsu_instructions:>12,d}")
+    print(f"  warps completed   {r.warps_completed:>12,d}")
+    print(f"  offloads          {r.offloads_issued:>12,d} "
+          f"of {r.blocks_total:,d} block instances "
+          f"({r.offloads_suppressed} suppressed)")
+    for k, v in r.stalls.as_dict().items():
+        print(f"  stall {k:<14s} {v:>12,d}")
+    for k, v in r.traffic.as_dict().items():
+        print(f"  bytes {k:<14s} {v:>12,d}")
+    print(f"  DRAM activations  {r.dram_activations:>12,d}")
+    e = compute_energy(r, make_config(args.config, cfg))
+    for k, v in e.as_dict().items():
+        print(f"  energy {k:<16s} {v / 1e6:>12.3f} mJ")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    runner = _runner(args)
+    configs = list(F.FIG9_CONFIGS) + ["NaiveNDP"]
+    series = {}
+    for c in configs:
+        series[c] = runner.speedup(args.workload, c)
+    print(bar_chart(series, title=f"{args.workload}: speedup over Baseline",
+                    baseline=1.0))
+    return 0
+
+
+def cmd_table(args) -> int:
+    if args.number == 1:
+        print(T.format_table(T.table1(), "Table 1: Evaluated workloads"))
+    elif args.number == 2:
+        print(T.format_table(T.table2(_base_config(args)),
+                             "Table 2: System configuration"))
+    else:
+        print("tables: 1, 2", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_overhead(args) -> int:
+    hw = T.hardware_overhead(_base_config(args))
+    print(f"per-SM NDP buffer storage: {hw['per_sm_kb']:.2f} KB")
+    print(f"share of on-chip storage : {hw['overhead_fraction']:.1%}")
+    return 0
+
+
+def cmd_figure(args) -> int:
+    n = args.number
+    if n == 5:
+        d = F.figure5()
+        xs = d["n_accesses"].tolist()
+        print(line_plot(xs, {
+            "first-HMC": d["first_policy"].tolist(),
+            "optimal": d["optimal"].tolist(),
+        }, title="Figure 5: normalized traffic vs #accesses"))
+        print(f"max first/optimal ratio: {d['ratio'].max():.3f}")
+        return 0
+
+    runner = _runner(args)
+    if n == 7:
+        d = F.figure7(runner)
+        for w, row in d.items():
+            print(bar_chart(row, title=w, baseline=1.0, width=30))
+    elif n == 8:
+        d = F.figure8(runner)
+        for w, configs in d.items():
+            print(f"{w}:")
+            for c, b in configs.items():
+                total = sum(b.values())
+                print(f"  {c:<18s} total {total:5.2f}  " + "  ".join(
+                    f"{k}={v:.2f}" for k, v in b.items()))
+    elif n == 9:
+        d = F.figure9(runner)
+        for w, row in d.items():
+            print(bar_chart(row, title=w, baseline=1.0, width=30))
+    elif n == 10:
+        d = F.figure10(runner)
+        for w, configs in d.items():
+            print(f"{w}:")
+            for c, comp in configs.items():
+                print(f"  {c:<18s} " + "  ".join(
+                    f"{k}={v:.3f}" for k, v in comp.items()))
+    elif n == 11:
+        d = F.figure11(runner)
+        print(bar_chart({w: v["icache_utilization"] for w, v in d.items()},
+                        title="NSU I-cache utilization", fmt="{:.1%}"))
+        print(bar_chart({w: v["warp_occupancy"] for w, v in d.items()},
+                        title="NSU warp occupancy", fmt="{:.1%}"))
+    else:
+        print("figures: 5, 7, 8, 9, 10, 11", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.analysis.report import generate_report
+
+    text = generate_report(_runner(args))
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Toward Standardized Near-Data "
+                    "Processing with Unrestricted Data Placement for GPUs' "
+                    "(SC'17)")
+    p.add_argument("--scale", default="bench",
+                   choices=["ci", "bench", "paper"])
+    p.add_argument("--workloads", help="comma-separated subset")
+    p.add_argument("--sms", type=int, help="override SM count")
+    p.add_argument("--nsu-mhz", type=float, help="override NSU clock")
+    p.add_argument("--ro-cache", type=int,
+                   help="NSU read-only cache bytes (extension)")
+    p.add_argument("--target-policy", choices=["first", "optimal"])
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list").set_defaults(fn=cmd_list)
+
+    pr = sub.add_parser("run")
+    pr.add_argument("workload")
+    pr.add_argument("config")
+    pr.add_argument("--stats", action="store_true",
+                    help="dump hierarchical component statistics")
+    pr.add_argument("--trace", action="store_true",
+                    help="print a Figure 6-style message timeline")
+    pr.set_defaults(fn=cmd_run)
+
+    ps = sub.add_parser("sweep")
+    ps.add_argument("workload")
+    ps.set_defaults(fn=cmd_sweep)
+
+    pt = sub.add_parser("table")
+    pt.add_argument("number", type=int)
+    pt.set_defaults(fn=cmd_table)
+
+    pf = sub.add_parser("figure")
+    pf.add_argument("number", type=int)
+    pf.set_defaults(fn=cmd_figure)
+
+    sub.add_parser("overhead").set_defaults(fn=cmd_overhead)
+
+    pre = sub.add_parser("report")
+    pre.add_argument("-o", "--output", help="write markdown to a file")
+    pre.set_defaults(fn=cmd_report)
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

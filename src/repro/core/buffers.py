@@ -1,0 +1,115 @@
+"""NSU-side NDP buffers (paper Section 4.1.2).
+
+The read-data buffer holds, per outstanding load instruction, the words
+delivered by RDF response packets; an entry is complete when every word the
+GPU's coalescer promised has arrived (the paper merges multiple RDF
+responses into one entry via the active-thread mask).  The write-address
+buffer holds the WTA packets' coalesced line addresses for each store
+instruction.  Both are keyed by (offload instance, sequence number), the
+offload packet ID of Figure 4.
+
+Capacity is enforced by construction: the GPU-side credit manager never
+lets more entries be outstanding than the buffer holds, and these classes
+assert that invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.coalescer import MemAccess
+
+
+@dataclass
+class ReadEntry:
+    """One read-data buffer entry (one load instruction of one instance)."""
+
+    expected_words: int | None = None   # None until the GPU generated RDFs
+    arrived_words: int = 0
+    arrived_packets: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return (self.expected_words is not None
+                and self.arrived_words >= self.expected_words)
+
+
+class ReadDataBuffer:
+    """Read-data buffer of one NSU."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._entries: dict[tuple, ReadEntry] = {}
+        self.peak = 0
+
+    def _entry(self, key: tuple) -> ReadEntry:
+        e = self._entries.get(key)
+        if e is None:
+            if len(self._entries) >= self.capacity:
+                raise AssertionError(
+                    "read-data buffer overflow: credit management must "
+                    "prevent this (Section 4.3)")
+            e = ReadEntry()
+            self._entries[key] = e
+            self.peak = max(self.peak, len(self._entries))
+        return e
+
+    def expect(self, key: tuple, words: int) -> None:
+        """GPU-side RDF generation announced the total words for a load."""
+        e = self._entry(key)
+        if e.expected_words is not None:
+            raise AssertionError(f"duplicate expectation for {key}")
+        e.expected_words = words
+
+    def deliver(self, key: tuple, words: int) -> bool:
+        """An RDF response arrived; returns True if the entry is complete."""
+        e = self._entry(key)
+        e.arrived_words += words
+        e.arrived_packets += 1
+        return e.complete
+
+    def is_complete(self, key: tuple) -> bool:
+        e = self._entries.get(key)
+        return e is not None and e.complete
+
+    def consume(self, key: tuple) -> ReadEntry:
+        """The NSU load instruction reads and frees the entry."""
+        e = self._entries.pop(key, None)
+        if e is None or not e.complete:
+            raise AssertionError(f"consuming incomplete read entry {key}")
+        return e
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class WriteAddressBuffer:
+    """Write-address buffer of one NSU."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._entries: dict[tuple, tuple[MemAccess, ...]] = {}
+        self.peak = 0
+
+    def deliver(self, key: tuple, accesses: tuple[MemAccess, ...]) -> None:
+        if key in self._entries:
+            raise AssertionError(f"duplicate WTA entry {key}")
+        if len(self._entries) >= self.capacity:
+            raise AssertionError(
+                "write-address buffer overflow: credit management must "
+                "prevent this (Section 4.3)")
+        self._entries[key] = accesses
+        self.peak = max(self.peak, len(self._entries))
+
+    def has(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def consume(self, key: tuple) -> tuple[MemAccess, ...]:
+        """The NSU store instruction reads and frees the entry."""
+        accesses = self._entries.pop(key, None)
+        if accesses is None:
+            raise AssertionError(f"consuming missing WTA entry {key}")
+        return accesses
+
+    def __len__(self) -> int:
+        return len(self._entries)

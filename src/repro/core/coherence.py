@@ -1,0 +1,56 @@
+"""Coherence & dynamic memory management helpers (Sections 4.2 and 4.1.1).
+
+The invalidation mechanism itself lives in
+:class:`~repro.core.offload.NDPController` (vault write -> INV packet ->
+:meth:`~repro.sim.memsys.GPUMemSystem.invalidate`); this module adds the
+page-swap guard the paper describes for dynamic memory management: before a
+newly mapped page on an HMC may be written, all in-flight WTA packets to
+that HMC must drain, while accesses to other stacks proceed unimpeded.  The
+drain latency hides under the tens-of-microseconds external page fetch
+(NVLink/PCIe).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.engine import Engine
+
+#: External page-fetch latency in SM cycles: ~20 us at 700 MHz (the paper
+#: cites "tens of microseconds" for NVLink/PCIe page migration).
+PAGE_FETCH_LATENCY = 14_000
+
+
+class PageMigrationGuard:
+    """Serializes a page swap-in against in-flight NDP writes (Section 4.1.1)."""
+
+    def __init__(self, engine: Engine, controller) -> None:
+        self.engine = engine
+        self.controller = controller
+        self.swaps = 0
+        self.stalled_swaps = 0
+
+    def swap_in_page(self, hmc: int, on_ready: Callable[[], None],
+                     fetch_latency: int = PAGE_FETCH_LATENCY) -> None:
+        """Swap a page into ``hmc``: fetch it over the external interface
+        and, in parallel, wait for the stack's WTA packets to drain; the
+        page becomes writable when both have happened."""
+        self.swaps += 1
+        state = {"fetched": False, "drained": False}
+        if not self.controller.can_swap_page_now(hmc):
+            self.stalled_swaps += 1
+
+        def check() -> None:
+            if state["fetched"] and state["drained"]:
+                on_ready()
+
+        def fetched() -> None:
+            state["fetched"] = True
+            check()
+
+        def drained() -> None:
+            state["drained"] = True
+            check()
+
+        self.engine.after(fetch_latency, fetched)
+        self.controller.wait_for_wta_drain(hmc, drained)

@@ -1,0 +1,251 @@
+"""Offload decision policies (paper Sections 6, 7.1, 7.2, 7.3).
+
+* :class:`NeverOffload` -- the baseline.
+* :class:`AlwaysOffload` -- the naive mechanism of Section 6.
+* :class:`StaticRatioDecider` -- Section 7.1: each block instance is
+  offloaded with a fixed probability.
+* :class:`HillClimbingController` -- Algorithm 1: an epoch-based hill
+  climber with adaptive step size that tracks the offload ratio maximizing
+  the throughput of offload-block instructions.
+* :class:`CacheLocalityTracker` -- Section 7.3: per-static-block RDF cache
+  statistics used to suppress blocks whose cache locality makes offloading
+  a net loss.
+* :class:`DynamicDecider` -- combines the hill climber with (optionally)
+  the cache-locality filter: NDP(Dyn) and NDP(Dyn)_Cache.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import LINE_SIZE, NDPConfig, REG_SIZE, WORD_SIZE
+
+
+class NeverOffload:
+    """Baseline: no block instance is ever offloaded."""
+
+    def decide(self, sm_id: int, dynblock) -> bool:
+        return False
+
+
+class AlwaysOffload:
+    """Naive NDP (Section 6): every block instance is offloaded."""
+
+    def decide(self, sm_id: int, dynblock) -> bool:
+        return True
+
+
+class StaticRatioDecider:
+    """Offload each block instance with fixed probability ``ratio``.
+
+    The paper's static study makes the decision "randomly to meet the
+    given offload ratio" because the decision logic cannot know a block
+    instance's impact before executing it (Section 7.1).
+    """
+
+    def __init__(self, ratio: float, seed: int = 1) -> None:
+        if not 0.0 <= ratio <= 1.0:
+            raise ValueError("ratio must be in [0, 1]")
+        self.ratio = ratio
+        self._rng = np.random.default_rng(seed)
+
+    def decide(self, sm_id: int, dynblock) -> bool:
+        if self.ratio >= 1.0:
+            return True
+        if self.ratio <= 0.0:
+            return False
+        return bool(self._rng.random() < self.ratio)
+
+
+class HillClimbingController:
+    """Algorithm 1: dynamic offload-ratio decision via hill climbing.
+
+    Call :meth:`end_epoch` with the epoch's average IPC of offload-block
+    instructions; it updates :attr:`ratio` for the next epoch.  The step
+    size adapts to the recent direction-change history: oscillation
+    (frequent reversals) shrinks the step, a consistent climb grows it,
+    both clamped to [step_min, step_max].
+    """
+
+    #: Epochs whose IPC sample is recorded but not compared: the first
+    #: epoch blends cold caches and warp launch, which would otherwise
+    #: feed Algorithm 1 a spurious "got worse" signal on short runs.
+    WARMUP_EPOCHS = 1
+
+    def __init__(self, cfg: NDPConfig) -> None:
+        self.cfg = cfg
+        self.ratio = cfg.ratio_init
+        self.step = cfg.step_init
+        self.direction = +1
+        self.prev_ipc: float | None = None
+        self.history: deque[bool] = deque(maxlen=cfg.history_window)
+        self.epochs = 0
+
+    def end_epoch(self, cur_avg_ipc: float) -> float:
+        """Apply one Algorithm 1 update; returns the new ratio."""
+        self.epochs += 1
+        cfg = self.cfg
+        if self.epochs <= self.WARMUP_EPOCHS:
+            return self.ratio
+        if self.prev_ipc is not None:
+            if cur_avg_ipc < self.prev_ipc:
+                self.direction *= -1          # reverse if getting worse
+                self.history.append(True)
+            else:
+                self.history.append(False)
+            n_changes = sum(self.history)
+            if (n_changes > cfg.history_window / 2
+                    and self.step > cfg.step_min):
+                self.step = max(cfg.step_min, self.step - cfg.step_unit)
+            elif self.step < cfg.step_max:
+                self.step = min(cfg.step_max, self.step + cfg.step_unit)
+            if cfg.step_unit <= self.ratio <= 1.0 - cfg.step_unit:
+                self.ratio += self.direction * self.step
+            else:
+                # At a boundary the paper's guard freezes the ratio; we
+                # nudge it inward by one step unit (and point the climb
+                # direction inward) so the climber re-enters the legal
+                # band instead of deadlocking against the wall.
+                inward = +1 if self.ratio < cfg.step_unit else -1
+                self.direction = inward
+                self.ratio += inward * cfg.step_unit
+            self.ratio = min(1.0, max(0.0, self.ratio))
+        self.prev_ipc = cur_avg_ipc
+        return self.ratio
+
+
+@dataclass
+class _BlockCacheStats:
+    instances: int = 0
+    rdf_packets: int = 0
+    rdf_hits: int = 0
+
+    @property
+    def avg_num_cache_lines(self) -> float:
+        return self.rdf_packets / self.instances if self.instances else 0.0
+
+    @property
+    def avg_miss_rate(self) -> float:
+        if not self.rdf_packets:
+            return 1.0
+        return 1.0 - self.rdf_hits / self.rdf_packets
+
+
+class CacheLocalityTracker:
+    """Runtime RDF cache statistics per static offload block (Section 7.3).
+
+    ``paper_benefit`` implements the paper's published Benefit equation
+    verbatim.  The *suppression score* additionally charges the cost of
+    re-shipping cache-*hitting* data from the GPU to the NSU: a line that
+    hits in the GPU caches costs the baseline no off-chip traffic at all,
+    but under NDP its RDF response still crosses a GPU link (this is
+    exactly why BPROP and STN lose, Section 7.1), so net benefit must
+    subtract it.  DESIGN.md documents this as a corrected-accounting
+    substitution.
+    """
+
+    def __init__(self, simd_width: int = 32, min_instances: int = 8) -> None:
+        self.simd_width = simd_width
+        self.min_instances = min_instances
+        self._stats: dict[int, _BlockCacheStats] = {}
+
+    def record_instance(self, block_id: int, rdf_packets: int,
+                        rdf_hits: int) -> None:
+        s = self._stats.setdefault(block_id, _BlockCacheStats())
+        s.instances += 1
+        s.rdf_packets += rdf_packets
+        s.rdf_hits += rdf_hits
+
+    def stats(self, block_id: int) -> _BlockCacheStats:
+        return self._stats.setdefault(block_id, _BlockCacheStats())
+
+    def paper_benefit(self, block) -> float:
+        """The Section 7.3 Benefit equation, as published."""
+        s = self.stats(block.block_id)
+        load_term = (math.ceil(s.avg_num_cache_lines * s.avg_miss_rate)
+                     * LINE_SIZE * self.simd_width)
+        store_term = block.num_stores * WORD_SIZE * self.simd_width
+        return float(load_term + store_term)
+
+    def score(self, block) -> float:
+        """Suppression score: net GPU-link traffic change of offloading.
+
+        Positive -> offloading reduces GPU off-chip traffic -> allowed.
+        """
+        s = self.stats(block.block_id)
+        avg_lines = s.avg_num_cache_lines
+        miss = s.avg_miss_rate
+        # Loads: missed lines would have crossed the GPU link in the
+        # baseline (full 128B line) but now flow through the memory
+        # network; hit lines cost *extra* GPU-link bytes under NDP.
+        load_benefit = avg_lines * miss * LINE_SIZE
+        hit_cost = avg_lines * (1.0 - miss) * LINE_SIZE
+        store_benefit = block.num_stores * WORD_SIZE * self.simd_width
+        overhead = (len(block.send_regs) + len(block.ret_regs)) * (
+            REG_SIZE * self.simd_width)
+        return load_benefit + store_benefit - hit_cost - overhead
+
+    def suppressed(self, block) -> bool:
+        """True when the measured cache locality makes offloading a loss.
+
+        Blocks without enough measured instances are never suppressed
+        (the measurement must come first)."""
+        s = self.stats(block.block_id)
+        if s.instances < self.min_instances:
+            return False
+        return self.score(block) <= 0.0
+
+
+class DynamicDecider:
+    """NDP(Dyn) / NDP(Dyn)_Cache: hill-climbing ratio + optional filter."""
+
+    def __init__(self, cfg: NDPConfig, *, cache_aware: bool,
+                 seed: int = 1) -> None:
+        self.controller = HillClimbingController(cfg)
+        self.cache_aware = cache_aware
+        self.tracker = CacheLocalityTracker()
+        self._rng = np.random.default_rng(seed)
+        self.suppressed_count = 0
+
+    @property
+    def ratio(self) -> float:
+        return self.controller.ratio
+
+    def decide(self, sm_id: int, dynblock) -> bool:
+        if self.cache_aware and self.tracker.suppressed(dynblock.block):
+            self.suppressed_count += 1
+            return False
+        r = self.controller.ratio
+        if r <= 0.0:
+            return False
+        if r >= 1.0:
+            return True
+        return bool(self._rng.random() < r)
+
+    def end_epoch(self, cur_avg_ipc: float) -> float:
+        return self.controller.end_epoch(cur_avg_ipc)
+
+    def record_instance(self, block_id: int, rdf_packets: int,
+                        rdf_hits: int) -> None:
+        self.tracker.record_instance(block_id, rdf_packets, rdf_hits)
+
+
+def make_decider(cfg: NDPConfig, seed: int = 1):
+    """Build the decider matching ``cfg.mode``."""
+    from repro.config import OffloadMode
+
+    if cfg.mode == OffloadMode.OFF:
+        return NeverOffload()
+    if cfg.mode == OffloadMode.NAIVE:
+        return AlwaysOffload()
+    if cfg.mode == OffloadMode.STATIC:
+        return StaticRatioDecider(cfg.static_ratio, seed=seed)
+    if cfg.mode == OffloadMode.DYNAMIC:
+        return DynamicDecider(cfg, cache_aware=False, seed=seed)
+    if cfg.mode == OffloadMode.DYNAMIC_CACHE:
+        return DynamicDecider(cfg, cache_aware=True, seed=seed)
+    raise ValueError(f"unknown offload mode {cfg.mode!r}")

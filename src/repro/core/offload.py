@@ -1,0 +1,385 @@
+"""GPU-side NDP controller: partitioned execution on the SM (Section 4.1.1).
+
+The controller implements everything the paper adds to the GPU:
+
+* ``OFLD.BEG``: target-NSU selection (first memory instruction's majority
+  HMC), NSU buffer reservation through the credit manager, and the offload
+  command packet with live-in registers;
+* load instructions: RDF packet generation with a GPU cache probe -- hits
+  ship the cached data to the target NSU from the GPU (no DRAM access),
+  misses send the RDF to the owning HMC whose response is forwarded over
+  the memory network (Figure 6(a));
+* store instructions: WTA packets carrying translated addresses to the
+  target NSU (Figure 6(b));
+* ``OFLD.END``: parking the warp until the NSU's acknowledgment returns
+  the live-out registers;
+* the per-SM pending packet buffer: packets of not-yet-granted blocks wait
+  on-chip, and a full buffer back-pressures the warp (ExecUnitBusy);
+* NSU write routing + cache-invalidation coherence (Section 4.2) and the
+  in-flight WTA counters used for dynamic memory management (Section 4.1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.config import LINE_SIZE, SystemConfig
+from repro.core.credit import BufferCreditManager
+from repro.core.packets import PacketSizes
+from repro.core.target_select import first_instr_target, optimal_target
+from repro.gpu.coalescer import MemAccess
+from repro.sim.engine import Engine
+
+
+class OffloadInstance:
+    """Runtime state of one offloaded block instance."""
+
+    __slots__ = ("uid", "sm", "warp", "item", "block", "target",
+                 "granted", "deferred", "pending_packets", "next_seq",
+                 "rdf_packets", "rdf_hits", "gpu_end_reached", "ack_arrived",
+                 "active_threads", "start_cycle")
+
+    def __init__(self, uid, sm, warp, item, target: int) -> None:
+        self.uid = uid
+        self.sm = sm
+        self.warp = warp
+        self.item = item
+        self.block = item.block
+        self.target = target
+        self.granted = False
+        self.deferred: list[Callable[[], None]] = []
+        self.pending_packets = 0
+        self.next_seq = 0
+        self.rdf_packets = 0
+        self.rdf_hits = 0
+        self.gpu_end_reached = False
+        self.ack_arrived = False
+        self.active_threads = item.active_threads
+        self.start_cycle = 0
+
+
+@dataclass
+class NDPStats:
+    offloads: int = 0
+    acks: int = 0
+    rdf_packets: int = 0
+    rdf_hits: int = 0
+    wta_packets: int = 0
+    ndp_writes: int = 0
+    invalidations_sent: int = 0
+    pending_peak: int = 0
+    pending_rejects: int = 0
+
+
+class NDPController:
+    """One controller per GPU; owns the credit manager and packet plumbing."""
+
+    def __init__(self, engine: Engine, cfg: SystemConfig, *, amap, memsys,
+                 gpu_links, network, hmcs, counters, decider=None) -> None:
+        self.engine = engine
+        self.cfg = cfg
+        self.amap = amap
+        self.memsys = memsys
+        self.gpu_links = gpu_links
+        self.network = network
+        self.hmcs = hmcs
+        self.counters = counters
+        self.decider = decider
+        self.credits = BufferCreditManager(
+            engine, cfg.num_hmcs,
+            cmd_entries=cfg.nsu.cmd_buffer_entries,
+            read_data_entries=cfg.nsu.read_data_entries,
+            write_addr_entries=cfg.nsu.write_addr_entries)
+        self.nsus: list = []               # filled by the system after build
+        self.code_layout: dict[int, tuple[int, int]] = {}
+        self.pending = [0] * cfg.gpu.num_sms
+        self.pending_cap = cfg.sm_buffers.pending_entries
+        self.wta_inflight = [0] * cfg.num_hmcs   # Section 4.1.1 page guard
+        self._wta_drain_waiters: dict[int, list[Callable[[], None]]] = {}
+        self.stats = NDPStats()
+        self._uid_counter = 0
+        # Optional packet-level tracing (repro.sim.tracing.MessageTrace).
+        self.trace = None
+
+    def set_code_layout(self, blocks) -> None:
+        """Lay the NSU code for each block out in I-cache lines.
+
+        Each NSU instruction occupies :data:`~repro.core.nsu.NSU_INSTR_BYTES`;
+        blocks are padded to line granularity (Figure 11's footprint)."""
+        from repro.core.nsu import NSU_INSTR_BYTES
+
+        line = self.cfg.nsu.icache_line
+        cursor = 0
+        for b in blocks:
+            nbytes = len(b.nsu_code) * NSU_INSTR_BYTES
+            n_lines = max(1, -(-nbytes // line))
+            self.code_layout[b.block_id] = (cursor, n_lines)
+            cursor += n_lines
+
+    # -- OFLD.BEG ------------------------------------------------------------
+
+    def start_block(self, sm, warp, item) -> OffloadInstance | None:
+        sm_id = sm.sm_id
+        if self.pending[sm_id] + 1 > self.pending_cap:
+            self.stats.pending_rejects += 1
+            return None
+        if self.cfg.ndp.target_policy == "optimal":
+            target = optimal_target(item.mem_accesses, self.amap)
+        else:
+            target = first_instr_target(item.mem_accesses[0], self.amap)
+        self._uid_counter += 1
+        uid = (sm_id, warp.wid, self._uid_counter)
+        inst = OffloadInstance(uid, sm, warp, item, target)
+        inst.start_cycle = self.engine.now
+        self.stats.offloads += 1
+        block = item.block
+        cmd_size = PacketSizes.offload_cmd(len(block.send_regs),
+                                           inst.active_threads)
+
+        def send_cmd() -> None:
+            if self.trace is not None:
+                self.trace.record(self.engine.now, "CMD", "gpu",
+                                  f"hmc{target}", cmd_size, uid,
+                                  f"{len(block.send_regs)} regs")
+            self.gpu_links.to_hmc(
+                target, cmd_size,
+                lambda: self.nsus[target].receive_cmd(inst))
+
+        # Reserve NSU buffer space for the whole block (Section 4.3).  The
+        # grant may fire synchronously when credits are available.
+        self.credits.reserve(target, num_loads=block.num_loads,
+                             num_stores=block.num_stores,
+                             on_grant=lambda: self._grant(inst))
+        self._emit(inst, send_cmd)
+        return inst
+
+    def _grant(self, inst: OffloadInstance) -> None:
+        inst.granted = True
+        if inst.deferred:
+            for fn in inst.deferred:
+                fn()
+            inst.deferred.clear()
+        if inst.pending_packets:
+            self.pending[inst.sm.sm_id] -= inst.pending_packets
+            inst.pending_packets = 0
+
+    def _emit(self, inst: OffloadInstance, fn: Callable[[], None]) -> None:
+        """Run ``fn`` now if the block is granted, else park it in the SM's
+        pending packet buffer."""
+        if inst.granted:
+            fn()
+        else:
+            inst.deferred.append(fn)
+            inst.pending_packets += 1
+            p = self.pending[inst.sm.sm_id] = self.pending[inst.sm.sm_id] + 1
+            self.stats.pending_peak = max(self.stats.pending_peak, p)
+
+    def _pending_room(self, inst: OffloadInstance, needed: int) -> bool:
+        if inst.granted:
+            return True
+        return self.pending[inst.sm.sm_id] + needed <= self.pending_cap
+
+    # -- load instructions (RDF) -----------------------------------------------
+
+    def rdf(self, inst: OffloadInstance,
+            accesses: tuple[MemAccess, ...]) -> bool:
+        if not self._pending_room(inst, len(accesses)):
+            self.stats.pending_rejects += 1
+            return False
+        seq = inst.next_seq
+        inst.next_seq += 1
+        key = (inst.uid, seq)
+        total_words = sum(a.words for a in accesses)
+        target = inst.target
+        nsu = self.nsus[target]
+
+        def emit_one(acc: MemAccess) -> None:
+            inst.rdf_packets += 1
+            self.stats.rdf_packets += 1
+            if self.memsys.rdf_probe(inst.sm.sm_id, acc.line_addr):
+                # GPU cache hit: ship the cached words to the target NSU
+                # (minimizes DRAM access but costs GPU-link bandwidth --
+                # the Section 7.1 BPROP effect).  With the optional NSU
+                # read-only cache, a line the NSU already holds costs only
+                # a header-sized "use cached copy" message.
+                inst.rdf_hits += 1
+                self.stats.rdf_hits += 1
+                if nsu.ro_cache_hit(acc.line_addr):
+                    self.gpu_links.to_hmc(
+                        target, PacketSizes.invalidation(),
+                        lambda: nsu.deliver_read(key, acc.words))
+                    return
+                resp = PacketSizes.rdf_response(acc.words)
+                if self.trace is not None:
+                    self.trace.record(self.engine.now, "RDF_HIT_RESP",
+                                      "gpu", f"hmc{target}", resp,
+                                      inst.uid,
+                                      f"seq {seq}, {acc.words} words")
+                self.gpu_links.to_hmc(
+                    target, resp,
+                    lambda: nsu.deliver_read(key, acc.words,
+                                             cacheable_line=acc.line_addr))
+                return
+            owner = self.amap.hmc_of(acc.line_addr * LINE_SIZE)
+            req = PacketSizes.rdf_request(acc.irregular, acc.words)
+            resp = PacketSizes.rdf_response(acc.words)
+
+            def at_owner() -> None:
+                self.hmcs[owner].access_line(
+                    acc.line_addr, False,
+                    lambda r: route_response(), noc_bytes=LINE_SIZE)
+
+            def route_response() -> None:
+                if self.trace is not None:
+                    self.trace.record(self.engine.now, "RDF_RESP",
+                                      f"hmc{owner}", f"hmc{target}", resp,
+                                      inst.uid, f"seq {seq}")
+                if owner == target:
+                    self.counters.add("intra_hmc", resp)
+                    self.engine.after(
+                        4, lambda: nsu.deliver_read(key, acc.words))
+                else:
+                    self.network.send(owner, target, resp,
+                                      lambda: nsu.deliver_read(key, acc.words))
+
+            if self.trace is not None:
+                self.trace.record(self.engine.now, "RDF", "gpu",
+                                  f"hmc{owner}", req, inst.uid,
+                                  f"seq {seq}, line {acc.line_addr:#x}")
+            self.gpu_links.to_hmc(owner, req, at_owner)
+
+        def emit_all() -> None:
+            nsu.expect_read(key, total_words)
+            for acc in accesses:
+                emit_one(acc)
+
+        self._emit(inst, emit_all)
+        return True
+
+    # -- store instructions (WTA) -------------------------------------------------
+
+    def wta(self, inst: OffloadInstance,
+            accesses: tuple[MemAccess, ...]) -> bool:
+        if not self._pending_room(inst, len(accesses)):
+            self.stats.pending_rejects += 1
+            return False
+        seq = inst.next_seq
+        inst.next_seq += 1
+        key = (inst.uid, seq)
+        target = inst.target
+        nsu = self.nsus[target]
+
+        def emit_all() -> None:
+            nsu.expect_wta(key, len(accesses))
+            for acc in accesses:
+                self.stats.wta_packets += 1
+                owner = self.amap.hmc_of(acc.line_addr * LINE_SIZE)
+                self.wta_inflight[owner] += 1
+                size = PacketSizes.wta(acc.irregular, acc.words)
+                if self.trace is not None:
+                    self.trace.record(self.engine.now, "WTA", "gpu",
+                                      f"hmc{target}", size, inst.uid,
+                                      f"seq {seq}, line {acc.line_addr:#x}")
+                self.gpu_links.to_hmc(
+                    target, size, lambda a=acc: nsu.deliver_wta(key, a))
+
+        self._emit(inst, emit_all)
+        return True
+
+    # -- OFLD.END -------------------------------------------------------------------
+
+    def end_block(self, inst: OffloadInstance) -> None:
+        inst.gpu_end_reached = True
+        if inst.ack_arrived:
+            # The NSU finished before the GPU-side code did (no-store
+            # blocks with fast cache-hit data): resume next cycle.
+            self.engine.after(1, lambda: self._complete(inst))
+
+    def send_ack(self, nsu, inst: OffloadInstance) -> None:
+        size = PacketSizes.offload_ack(len(inst.block.ret_regs),
+                                       inst.active_threads)
+        if self.trace is not None:
+            self.trace.record(self.engine.now, "ACK", f"hmc{nsu.hmc_id}",
+                              "gpu", size, inst.uid,
+                              f"{len(inst.block.ret_regs)} regs")
+        self.gpu_links.to_gpu(nsu.hmc_id, size, lambda: self._ack(inst))
+
+    def _ack(self, inst: OffloadInstance) -> None:
+        inst.ack_arrived = True
+        self.stats.acks += 1
+        if self.decider is not None and hasattr(self.decider,
+                                                "record_instance"):
+            self.decider.record_instance(
+                inst.block.block_id, inst.rdf_packets, inst.rdf_hits)
+        if inst.gpu_end_reached:
+            self._complete(inst)
+
+    def _complete(self, inst: OffloadInstance) -> None:
+        inst.sm.complete_offload(inst.warp)
+
+    # -- NSU write routing + coherence (Sections 4.1.2 / 4.2) -----------------------
+
+    def ndp_write(self, nsu, warp, acc: MemAccess) -> None:
+        """Route one NSU store access to the owning vault; invalidate GPU
+        caches when the write completes; acknowledge the NSU."""
+        owner = self.amap.hmc_of(acc.line_addr * LINE_SIZE)
+        size = PacketSizes.ndp_write(acc.words)
+        self.stats.ndp_writes += 1
+        if self.trace is not None:
+            self.trace.record(self.engine.now, "WRITE", f"hmc{nsu.hmc_id}",
+                              f"hmc{owner}", size, warp.inst.uid,
+                              f"line {acc.line_addr:#x}")
+
+        def do_write() -> None:
+            self.hmcs[owner].access_line(
+                acc.line_addr, True, lambda r: on_written(),
+                noc_bytes=size)
+
+        def on_written() -> None:
+            self._send_invalidation(owner, acc.line_addr)
+            for peer in self.nsus:
+                peer.ro_invalidate(acc.line_addr)
+            if owner == nsu.hmc_id:
+                nsu.write_done(warp)
+            else:
+                self.network.send(owner, nsu.hmc_id,
+                                  PacketSizes.write_ack(),
+                                  lambda: nsu.write_done(warp))
+
+        if owner == nsu.hmc_id:
+            do_write()
+        else:
+            self.network.send(nsu.hmc_id, owner, size, do_write)
+
+    def _send_invalidation(self, owner: int, line_addr: int) -> None:
+        size = PacketSizes.invalidation()
+        self.stats.invalidations_sent += 1
+        self.memsys.count_invalidation_bytes(size)
+        if self.trace is not None:
+            self.trace.record(self.engine.now, "INV", f"hmc{owner}", "gpu",
+                              size, None, f"line {line_addr:#x}")
+        self.gpu_links.to_gpu(
+            owner, size, lambda: self._apply_invalidation(owner, line_addr))
+
+    def _apply_invalidation(self, owner: int, line_addr: int) -> None:
+        self.memsys.invalidate(line_addr)
+        self.wta_inflight[owner] -= 1
+        if self.wta_inflight[owner] == 0:
+            for cb in self._wta_drain_waiters.pop(owner, []):
+                cb()
+
+    # -- dynamic memory management guard (Section 4.1.1) ------------------------------
+
+    def can_swap_page_now(self, hmc: int) -> bool:
+        """True when a new page mapped to ``hmc`` can be written immediately
+        (no in-flight WTA packets to that stack)."""
+        return self.wta_inflight[hmc] == 0
+
+    def wait_for_wta_drain(self, hmc: int, cb: Callable[[], None]) -> None:
+        """Defer ``cb`` until the stack has no in-flight WTA packets.  Other
+        stacks' data remains accessible meanwhile (per the paper)."""
+        if self.wta_inflight[hmc] == 0:
+            cb()
+        else:
+            self._wta_drain_waiters.setdefault(hmc, []).append(cb)

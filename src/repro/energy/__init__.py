@@ -1,0 +1,6 @@
+"""Energy model (paper Section 7.4, Figure 10)."""
+
+from repro.energy.params import EnergyParams
+from repro.energy.model import EnergyBreakdown, compute_energy
+
+__all__ = ["EnergyParams", "EnergyBreakdown", "compute_energy"]

@@ -1,0 +1,45 @@
+"""Energy constants.
+
+Published values from the paper's methodology (Section 5):
+
+* off-chip link energy: 2 pJ/bit (Poulton et al. transceiver)
+* DRAM row activation: 11.8 nJ per 4 KB row (Rambus model)
+* DRAM row-buffer read: 4 pJ/bit
+
+The remaining constants are GPUWattch-flavoured estimates chosen to sit in
+the published ranges for a 28 nm-class GPU: per-warp-instruction energy of
+~1 nJ (≈30 pJ/lane including fetch/decode/RF), SRAM array access energies
+of tens-to-hundreds of pJ per 128 B line, and static power that makes a
+64-SM GPU draw ~60 W at idle-ish activity.  The NSU omits the MMU, texture
+units, data cache and coalescer (Section 4.5) and runs at half clock, so
+its per-instruction and static costs are well below an SM's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """All energy constants in nanojoules / nanojoules-per-cycle."""
+
+    # -- GPU ------------------------------------------------------------------
+    sm_static_nj_per_cycle: float = 0.9       # ~0.63 W per SM at 700 MHz
+    gpu_uncore_static_nj_per_cycle: float = 14.0   # L2, crossbar, IO ~10 W
+    gpu_instr_nj: float = 1.0                 # per warp instruction
+    l1_access_nj: float = 0.06                # per line access/probe
+    l2_access_nj: float = 0.24                # per line access/probe
+
+    # -- NSU (Section 4.5: no MMU, no data cache, half clock) -------------------
+    nsu_static_nj_per_cycle: float = 0.18     # per NSU, per SM cycle
+    nsu_instr_nj: float = 0.5                 # per warp instruction
+
+    # -- interconnect -------------------------------------------------------------
+    offchip_link_nj_per_byte: float = 0.016   # 2 pJ/bit (paper)
+    intra_hmc_nj_per_byte: float = 0.004      # logic-layer NoC + TSVs
+
+    # -- DRAM ------------------------------------------------------------------------
+    dram_activate_nj: float = 11.8            # per 4 KB row (paper)
+    dram_rw_nj_per_byte: float = 0.032        # 4 pJ/bit (paper)
+    dram_static_nj_per_cycle_per_stack: float = 2.2   # background + refresh

@@ -1,0 +1,21 @@
+"""GPU substrate: caches, coalescer, warps, SMs, stall accounting."""
+
+from repro.gpu.cache import Cache, MSHRFile, CacheStats
+from repro.gpu.coalescer import MemAccess, coalesce
+from repro.gpu.trace import DynInstr, DynBlock, WarpTrace
+from repro.gpu.warp import Warp, WarpState
+from repro.gpu.sm import SM
+
+__all__ = [
+    "Cache",
+    "MSHRFile",
+    "CacheStats",
+    "MemAccess",
+    "coalesce",
+    "DynInstr",
+    "DynBlock",
+    "WarpTrace",
+    "Warp",
+    "WarpState",
+    "SM",
+]

@@ -1,0 +1,81 @@
+"""Dynamic warp traces consumed by the SM.
+
+A workload model unrolls its kernel IR into, per warp, a flat list of trace
+items.  Two kinds exist:
+
+* :class:`DynInstr` -- one ordinary dynamic instruction: the static
+  :class:`~repro.isa.instructions.Instr` plus, for LD/ST, its coalesced
+  line accesses.
+* :class:`DynBlock` -- one *offload block instance*: the code-generated
+  :class:`~repro.isa.codegen.OffloadBlock` plus per-memory-instruction
+  coalesced accesses.  At runtime the offload decision logic picks between
+  inline (original code) and offloaded (partitioned) execution of the
+  instance.
+
+Traces deliberately carry *post-coalescing* accesses: address generation and
+coalescing happen on the GPU in both execution modes (Section 4.1), so the
+coalescer runs once, in the trace generator.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.coalescer import MemAccess
+from repro.isa.codegen import OffloadBlock
+from repro.isa.instructions import Instr
+
+
+class DynInstr:
+    """One dynamic (non-offloadable) instruction."""
+
+    __slots__ = ("instr", "accesses")
+
+    def __init__(self, instr: Instr,
+                 accesses: tuple[MemAccess, ...] = ()) -> None:
+        self.instr = instr
+        self.accesses = accesses
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DynInstr({self.instr.op.value}, {len(self.accesses)} lines)"
+
+
+class DynBlock:
+    """One dynamic instance of an offload block."""
+
+    __slots__ = ("block", "mem_accesses", "active_threads")
+
+    def __init__(self, block: OffloadBlock,
+                 mem_accesses: tuple[tuple[MemAccess, ...], ...],
+                 active_threads: int = 32) -> None:
+        n_mem = block.num_loads + block.num_stores
+        if len(mem_accesses) != n_mem:
+            raise ValueError(
+                f"block {block.block_id} has {n_mem} memory instructions "
+                f"but {len(mem_accesses)} access groups were provided")
+        self.block = block
+        self.mem_accesses = mem_accesses
+        self.active_threads = active_threads
+
+    @property
+    def total_lines(self) -> int:
+        return sum(len(g) for g in self.mem_accesses)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"DynBlock(id={self.block.block_id}, "
+                f"{self.total_lines} lines)")
+
+
+#: A warp's full dynamic instruction stream.
+WarpTrace = list  # list[DynInstr | DynBlock]
+
+
+def trace_instruction_count(trace: WarpTrace) -> int:
+    """Baseline dynamic instruction count of a trace (for IPC accounting):
+    every DynInstr is one warp-instruction; a block instance counts its
+    original (unpartitioned) body."""
+    n = 0
+    for item in trace:
+        if isinstance(item, DynBlock):
+            n += len(item.block.instrs)
+        else:
+            n += 1
+    return n

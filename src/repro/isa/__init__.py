@@ -1,0 +1,60 @@
+"""Kernel IR, offload-block static analysis, and partitioned code generation.
+
+This package plays the role of the PTX-level static analyzer of Section 3:
+workloads are authored in a small PTX-like IR (:mod:`repro.isa.instructions`),
+the analyzer (:mod:`repro.isa.analyzer`) extracts offload blocks using the
+score of Eq. (1), and the code generator (:mod:`repro.isa.codegen`) splits
+each block into the GPU-side and NSU-side instruction streams of Figure 3.
+"""
+
+from repro.isa.instructions import (
+    Opcode,
+    Instr,
+    ld,
+    st,
+    alu,
+    sfu,
+    shmem_ld,
+    shmem_st,
+    sync,
+    branch,
+)
+from repro.isa.kernel import BasicBlock, Kernel
+from repro.isa.analyzer import (
+    AnalyzedKernel,
+    CandidateBlock,
+    address_calc_indices,
+    extract_candidate_blocks,
+    live_in_regs,
+    live_out_regs,
+    score_block,
+    analyze_kernel,
+)
+from repro.isa.codegen import OffloadBlock, generate_offload_block, GPUInstr, NSUInstr
+
+__all__ = [
+    "Opcode",
+    "Instr",
+    "ld",
+    "st",
+    "alu",
+    "sfu",
+    "shmem_ld",
+    "shmem_st",
+    "sync",
+    "branch",
+    "BasicBlock",
+    "Kernel",
+    "AnalyzedKernel",
+    "CandidateBlock",
+    "address_calc_indices",
+    "extract_candidate_blocks",
+    "live_in_regs",
+    "live_out_regs",
+    "score_block",
+    "analyze_kernel",
+    "OffloadBlock",
+    "generate_offload_block",
+    "GPUInstr",
+    "NSUInstr",
+]

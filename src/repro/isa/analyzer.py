@@ -1,0 +1,297 @@
+"""Static offload-block analysis (paper Section 3.1).
+
+The analyzer scans each basic block for maximal runs of offloadable
+instructions (simple LD/ST/ALU -- no scratchpad accesses, synchronization or
+control flow), computes the Eq. (1) score
+
+    Score = GPUTrafficReduction - OffloadOverhead
+
+and keeps runs with a positive score as offload blocks.  Independently of the
+score, every *indirect* load (``x = B[A[i]]``, Section 4.4) is extracted as a
+single-instruction offload block because offloading it avoids fetching whole
+divergent cache lines to the GPU.
+
+Address-calculation instructions (the backward slice feeding LD/ST address
+registers) stay on the GPU under partitioned execution and are therefore
+excluded from both the NSU instruction stream and the register-transfer
+overhead (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import REG_SIZE
+from repro.isa.instructions import Instr, Opcode, OFFLOADABLE
+from repro.isa.kernel import BasicBlock, Kernel
+
+
+def address_calc_indices(instrs: list[Instr] | tuple[Instr, ...]) -> frozenset[int]:
+    """Indices of ALU instructions that only serve address computation.
+
+    Computed as the backward register slice from every LD/ST ``addr_src``
+    within the region.  Loads feeding an address (the producer in an
+    indirect-load pair) are *not* address-calc: they are memory instructions
+    and remain offloadable; the slice simply stops at them.
+    """
+    needed: set[int] = set()
+    for ins in instrs:
+        if ins.is_mem and ins.addr_src is not None:
+            needed.add(ins.addr_src)
+    marked: set[int] = set()
+    for idx in range(len(instrs) - 1, -1, -1):
+        ins = instrs[idx]
+        if ins.dst is None or ins.dst not in needed:
+            continue
+        if ins.op is Opcode.ALU:
+            marked.add(idx)
+            needed.update(ins.srcs)
+        # A LD producing an address value terminates the slice: the load
+        # itself is a memory instruction, not address arithmetic.
+    return frozenset(marked)
+
+
+def _nsu_side_indices(instrs: tuple[Instr, ...],
+                      addr_calc: frozenset[int]) -> tuple[int, ...]:
+    """Region indices executed on the NSU: LD, ST and non-address ALUs."""
+    out = []
+    for idx, ins in enumerate(instrs):
+        if idx in addr_calc:
+            continue
+        if ins.op in (Opcode.LD, Opcode.ST, Opcode.ALU):
+            out.append(idx)
+    return tuple(out)
+
+
+def live_in_regs(instrs: tuple[Instr, ...],
+                 addr_calc: frozenset[int]) -> frozenset[int]:
+    """Registers the GPU must ship to the NSU in the offload command packet.
+
+    A register is live-in if an NSU-side instruction reads it before any
+    NSU-side definition.  Address registers are excluded (addresses travel
+    in RDF/WTA packets, not as register context); loaded values are defined
+    by the read-data buffer.
+    """
+    defined: set[int] = set()
+    live: set[int] = set()
+    for idx in _nsu_side_indices(instrs, addr_calc):
+        ins = instrs[idx]
+        if ins.op is Opcode.LD:
+            defined.add(ins.dst)
+            continue
+        reads = ins.srcs  # excludes addr_src for ST by construction
+        for r in reads:
+            if r not in defined:
+                live.add(r)
+        if ins.dst is not None:
+            defined.add(ins.dst)
+    return frozenset(live)
+
+
+def live_out_regs(instrs: tuple[Instr, ...],
+                  addr_calc: frozenset[int],
+                  later_reads: frozenset[int]) -> frozenset[int]:
+    """Registers produced on the NSU that the GPU needs back in the ACK.
+
+    ``later_reads`` is the set of registers read by any instruction after
+    the region (plus the kernel's declared live-outs).
+    """
+    produced: set[int] = set()
+    for idx in _nsu_side_indices(instrs, addr_calc):
+        ins = instrs[idx]
+        if ins.dst is not None:
+            produced.add(ins.dst)
+    return frozenset(produced & later_reads)
+
+
+def score_block(instrs: tuple[Instr, ...],
+                addr_calc: frozenset[int],
+                later_reads: frozenset[int]) -> float:
+    """Eq. (1) per-thread score in bytes.
+
+    GPUTrafficReduction: bytes of data the GPU avoids moving over its
+    off-chip links (one access per LD/ST per thread; address bytes are not
+    counted -- they are sent either way).  OffloadOverhead: register context
+    shipped to and from the NSU.
+    """
+    reduction = sum(ins.dtype_bytes for ins in instrs if ins.is_mem)
+    n_regs = len(live_in_regs(instrs, addr_calc)) + len(
+        live_out_regs(instrs, addr_calc, later_reads))
+    return float(reduction - n_regs * REG_SIZE)
+
+
+@dataclass(frozen=True)
+class CandidateBlock:
+    """A candidate offload region inside one basic block."""
+
+    block_index: int            # index of the basic block in the kernel
+    start: int                  # first instruction index within the block
+    stop: int                   # one-past-last instruction index
+    instrs: tuple[Instr, ...]
+    addr_calc: frozenset[int]   # indices *within the region*
+    score: float
+    reason: str                 # "score" or "indirect"
+
+    @property
+    def num_loads(self) -> int:
+        return sum(1 for i in self.instrs if i.op is Opcode.LD)
+
+    @property
+    def num_stores(self) -> int:
+        return sum(1 for i in self.instrs if i.op is Opcode.ST)
+
+    @property
+    def num_mem(self) -> int:
+        return self.num_loads + self.num_stores
+
+
+def _later_reads(kernel: Kernel, block_index: int, stop: int) -> frozenset[int]:
+    """Registers read after position ``stop`` of basic block ``block_index``."""
+    reads: set[int] = set(kernel.live_out)
+    blocks = kernel.blocks
+    for ins in blocks[block_index].instrs[stop:]:
+        reads.update(ins.reads)
+    for b in blocks[block_index + 1:]:
+        for ins in b.instrs:
+            reads.update(ins.reads)
+    return frozenset(reads)
+
+
+def _runs(block: BasicBlock):
+    """Yield (start, stop) of maximal offloadable runs in a basic block."""
+    start = None
+    for idx, ins in enumerate(block.instrs):
+        if ins.op in OFFLOADABLE:
+            if start is None:
+                start = idx
+        else:
+            if start is not None:
+                yield start, idx
+                start = None
+    if start is not None:
+        yield start, len(block.instrs)
+
+
+def _split_at_indirect_producers(instrs: list[Instr],
+                                 start: int) -> list[tuple[int, int]]:
+    """Split a run after every load whose value feeds a later address.
+
+    Under partitioned execution the GPU generates *all* addresses, but a
+    load's data lands in the NSU's read-data buffer -- so a region where an
+    address computation consumes an in-region load's value is not
+    executable as one offload block.  Splitting after the producer load
+    makes its value a live-out: the GPU receives it in the ACK and can
+    address the dependent (indirect) load of the next block, which is
+    exactly the two-step ``x = B[A[i]]`` flow of Section 4.4.
+    """
+    cuts: set[int] = set()
+    for idx, ins in enumerate(instrs):
+        if not ins.is_mem or ins.addr_src is None:
+            continue
+        # Chase the address chain backwards through in-region ALUs.
+        frontier = {ins.addr_src}
+        seen: set[int] = set()
+        for j in range(idx - 1, -1, -1):
+            prod = instrs[j]
+            if prod.dst is None or prod.dst not in frontier:
+                continue
+            frontier.discard(prod.dst)
+            seen.add(prod.dst)
+            if prod.op is Opcode.LD:
+                cuts.add(j)          # cut after the producer load
+            elif prod.op is Opcode.ALU:
+                frontier.update(r for r in prod.srcs if r not in seen)
+    pieces: list[tuple[int, int]] = []
+    piece_start = 0
+    for c in sorted(cuts):
+        if c + 1 > piece_start:
+            pieces.append((start + piece_start, start + c + 1))
+            piece_start = c + 1
+    if piece_start < len(instrs):
+        pieces.append((start + piece_start, start + len(instrs)))
+    return pieces
+
+
+def _split_by_mem_limit(instrs: list[Instr], start: int,
+                        max_mem: int) -> list[tuple[int, int]]:
+    """Split a run so no piece exceeds ``max_mem`` memory instructions.
+
+    The sequence-number field width bounds the number of LD/ST per offload
+    block (Section 3.2 footnote); oversized runs are split greedily.
+    """
+    pieces: list[tuple[int, int]] = []
+    piece_start = start
+    mem_seen = 0
+    for off, ins in enumerate(instrs):
+        if ins.is_mem:
+            mem_seen += 1
+            if mem_seen > max_mem:
+                pieces.append((piece_start, start + off))
+                piece_start = start + off
+                mem_seen = 1
+    pieces.append((piece_start, start + len(instrs)))
+    return pieces
+
+
+def extract_candidate_blocks(kernel: Kernel,
+                             max_mem_per_block: int = 64) -> list[CandidateBlock]:
+    """Extract all offload blocks from a kernel (Section 3.1 procedure)."""
+    out: list[CandidateBlock] = []
+    for b_idx, block in enumerate(kernel.blocks):
+        for run_start, run_stop in _runs(block):
+            run = block.instrs[run_start:run_stop]
+            pieces = []
+            for p_start, p_stop in _split_at_indirect_producers(run,
+                                                                run_start):
+                piece = block.instrs[p_start:p_stop]
+                pieces.extend(_split_by_mem_limit(piece, p_start,
+                                                  max_mem_per_block))
+            for start, stop in pieces:
+                instrs = tuple(block.instrs[start:stop])
+                if not any(i.is_mem for i in instrs):
+                    continue
+                addr_calc = address_calc_indices(instrs)
+                later = _later_reads(kernel, b_idx, stop)
+                s = score_block(instrs, addr_calc, later)
+                if s > 0:
+                    out.append(CandidateBlock(b_idx, start, stop, instrs,
+                                              addr_calc, s, "score"))
+                else:
+                    # Salvage single indirect loads (Section 4.4).
+                    for off, ins in enumerate(instrs):
+                        if ins.op is Opcode.LD and ins.indirect:
+                            sub = (ins,)
+                            sub_ac = address_calc_indices(sub)
+                            sub_later = _later_reads(kernel, b_idx, start + off + 1)
+                            out.append(CandidateBlock(
+                                b_idx, start + off, start + off + 1, sub,
+                                sub_ac,
+                                score_block(sub, sub_ac, sub_later),
+                                "indirect"))
+    return out
+
+
+@dataclass
+class AnalyzedKernel:
+    """A kernel together with its extracted, code-generated offload blocks."""
+
+    kernel: Kernel
+    blocks: list  # list[OffloadBlock]; typed loosely to avoid an import cycle
+
+    @property
+    def nsu_body_lengths(self) -> list[int]:
+        """Per-block NSU instruction counts (the Table 1 column)."""
+        return [b.nsu_body_len for b in self.blocks]
+
+
+def analyze_kernel(kernel: Kernel,
+                   max_mem_per_block: int = 64) -> AnalyzedKernel:
+    """Run extraction + code generation over a kernel."""
+    from repro.isa.codegen import generate_offload_block
+
+    candidates = extract_candidate_blocks(kernel, max_mem_per_block)
+    blocks = [
+        generate_offload_block(kernel, cand, block_id=i)
+        for i, cand in enumerate(candidates)
+    ]
+    return AnalyzedKernel(kernel, blocks)

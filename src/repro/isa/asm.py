@@ -1,0 +1,247 @@
+"""A textual assembly format for the kernel IR.
+
+Lets kernels be written as PTX-flavoured text instead of constructor
+calls -- handy for examples, tests, and users porting real kernels.  The
+grammar (one instruction per line, ``#`` comments):
+
+.. code-block:: text
+
+    .kernel vadd
+    .live_out r8
+    .block entry
+        ld      r4, [A + r0]        # global load:  r4 = A[r0]
+        ld.ind  r5, [B + r4]        # indirect load (address from data)
+        ld.b8   r6, [C + r1]        # 8-byte per-thread access
+        add     r6, r4, r5          # any ALU mnemonic: add/sub/mul/...
+        rsqrt   r7, r6              # SFU mnemonics: rsqrt/exp/log/sin/cos
+        shld    r9, r2              # scratchpad load / shst store
+        st      [D + r10], r6       # global store: D[r10] = r6
+        sync                        # barrier (ends any offload region)
+        bra     r7                  # branch (terminal in a block)
+
+``.block NAME`` starts a new basic block; ``.live_out rX [rY ...]``
+declares kernel live-outs.  :func:`assemble` parses text into a
+:class:`~repro.isa.kernel.Kernel`; :func:`disassemble` is its inverse
+(round-trip stable up to whitespace).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.isa.instructions import (
+    Instr,
+    Opcode,
+    alu,
+    branch,
+    ld,
+    sfu,
+    shmem_ld,
+    shmem_st,
+    st,
+    sync,
+)
+from repro.isa.kernel import BasicBlock, Kernel
+
+#: SFU (special-function) mnemonics.
+SFU_OPS = frozenset({"rsqrt", "sqrt", "exp", "log", "sin", "cos", "rcp"})
+
+#: Everything else alphabetic that is not a keyword parses as a plain ALU.
+_KEYWORDS = frozenset({"ld", "st", "shld", "shst", "sync", "bra", "nop"})
+
+_REG = re.compile(r"^r(\d+)$")
+_MEM = re.compile(r"^\[\s*(\w+)\s*\+\s*r(\d+)\s*\]$")
+
+
+class AsmError(ValueError):
+    """A parse error, annotated with the line number."""
+
+    def __init__(self, lineno: int, msg: str) -> None:
+        super().__init__(f"line {lineno}: {msg}")
+        self.lineno = lineno
+
+
+def _reg(tok: str, lineno: int) -> int:
+    m = _REG.match(tok.strip())
+    if not m:
+        raise AsmError(lineno, f"expected a register, got {tok!r}")
+    return int(m.group(1))
+
+
+def _mem(tok: str, lineno: int) -> tuple[str, int]:
+    m = _MEM.match(tok.strip())
+    if not m:
+        raise AsmError(lineno, f"expected [array + rN], got {tok!r}")
+    return m.group(1), int(m.group(2))
+
+
+def _split_operands(rest: str) -> list[str]:
+    """Split on commas that are not inside brackets."""
+    out, depth, cur = [], 0, []
+    for ch in rest:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            out.append("".join(cur).strip())
+            cur = []
+        else:
+            cur.append(ch)
+    tail = "".join(cur).strip()
+    if tail:
+        out.append(tail)
+    return out
+
+
+def _parse_instr(mnemonic: str, rest: str, lineno: int) -> Instr:
+    base, _, suffix = mnemonic.partition(".")
+    ops = _split_operands(rest) if rest else []
+
+    if base == "ld":
+        if len(ops) != 2:
+            raise AsmError(lineno, "ld needs: dst, [array + rN]")
+        dst = _reg(ops[0], lineno)
+        array, addr = _mem(ops[1], lineno)
+        indirect = False
+        dtype = 4
+        for part in suffix.split(".") if suffix else []:
+            if part == "ind":
+                indirect = True
+            elif part.startswith("b") and part[1:].isdigit():
+                dtype = int(part[1:])
+            elif part:
+                raise AsmError(lineno, f"unknown ld suffix {part!r}")
+        return ld(dst, addr, array, indirect=indirect, dtype_bytes=dtype)
+
+    if base == "st":
+        if len(ops) != 2:
+            raise AsmError(lineno, "st needs: [array + rN], src")
+        array, addr = _mem(ops[0], lineno)
+        data = _reg(ops[1], lineno)
+        dtype = 4
+        if suffix:
+            if suffix.startswith("b") and suffix[1:].isdigit():
+                dtype = int(suffix[1:])
+            else:
+                raise AsmError(lineno, f"unknown st suffix {suffix!r}")
+        return st(data, addr, array, dtype_bytes=dtype)
+
+    if base == "shld":
+        if len(ops) != 2:
+            raise AsmError(lineno, "shld needs: dst, rAddr")
+        return shmem_ld(_reg(ops[0], lineno), _reg(ops[1], lineno))
+
+    if base == "shst":
+        if len(ops) != 2:
+            raise AsmError(lineno, "shst needs: rData, rAddr")
+        return shmem_st(_reg(ops[0], lineno), _reg(ops[1], lineno))
+
+    if base == "sync":
+        return sync()
+
+    if base == "bra":
+        if len(ops) > 1:
+            raise AsmError(lineno, "bra takes at most one register")
+        cond = _reg(ops[0], lineno) if ops else None
+        return branch(cond)
+
+    if base == "nop":
+        return Instr(Opcode.NOP)
+
+    # Generic ALU/SFU: MNEMONIC dst, src...
+    if not base.isalpha():
+        raise AsmError(lineno, f"unknown mnemonic {mnemonic!r}")
+    if not ops:
+        raise AsmError(lineno, f"{base} needs a destination register")
+    dst = _reg(ops[0], lineno)
+    srcs = [_reg(o, lineno) for o in ops[1:]]
+    if base in SFU_OPS:
+        return sfu(dst, *srcs, tag=base)
+    return alu(dst, *srcs, tag=base)
+
+
+def assemble(text: str) -> Kernel:
+    """Parse assembly text into a :class:`Kernel`."""
+    name = "kernel"
+    live_out: set[int] = set()
+    blocks: list[BasicBlock] = []
+    cur: list[Instr] = []
+    cur_label = "b0"
+    saw_any = False
+
+    def flush() -> None:
+        nonlocal cur, cur_label
+        if cur:
+            blocks.append(BasicBlock(cur, label=cur_label))
+            cur = []
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        saw_any = True
+        if line.startswith(".kernel"):
+            parts = line.split()
+            if len(parts) != 2:
+                raise AsmError(lineno, ".kernel needs a name")
+            name = parts[1]
+        elif line.startswith(".live_out"):
+            for tok in line.split()[1:]:
+                live_out.add(_reg(tok, lineno))
+        elif line.startswith(".block"):
+            flush()
+            parts = line.split()
+            cur_label = parts[1] if len(parts) > 1 else f"b{len(blocks)}"
+        elif line.startswith("."):
+            raise AsmError(lineno, f"unknown directive {line.split()[0]!r}")
+        else:
+            parts = line.split(None, 1)
+            mnemonic = parts[0]
+            rest = parts[1] if len(parts) > 1 else ""
+            cur.append(_parse_instr(mnemonic, rest, lineno))
+    flush()
+    if not saw_any or not blocks:
+        raise AsmError(0, "empty kernel")
+    return Kernel(name, blocks, live_out=frozenset(live_out))
+
+
+def _fmt_instr(ins: Instr) -> str:
+    op = ins.op
+    if op is Opcode.LD:
+        suffix = ""
+        if ins.indirect:
+            suffix += ".ind"
+        if ins.dtype_bytes != 4:
+            suffix += f".b{ins.dtype_bytes}"
+        return (f"ld{suffix} r{ins.dst}, [{ins.array} + r{ins.addr_src}]")
+    if op is Opcode.ST:
+        suffix = f".b{ins.dtype_bytes}" if ins.dtype_bytes != 4 else ""
+        return f"st{suffix} [{ins.array} + r{ins.addr_src}], r{ins.srcs[0]}"
+    if op is Opcode.SHMEM_LD:
+        return f"shld r{ins.dst}, r{ins.srcs[0]}"
+    if op is Opcode.SHMEM_ST:
+        return f"shst r{ins.srcs[0]}, r{ins.srcs[1]}"
+    if op is Opcode.SYNC:
+        return "sync"
+    if op is Opcode.BRANCH:
+        return f"bra r{ins.srcs[0]}" if ins.srcs else "bra"
+    if op is Opcode.NOP:
+        return "nop"
+    mnemonic = ins.tag if (ins.tag and ins.tag.isalpha()) else (
+        "sfu" if op is Opcode.SFU else "add")
+    operands = ", ".join([f"r{ins.dst}"] + [f"r{s}" for s in ins.srcs])
+    return f"{mnemonic} {operands}"
+
+
+def disassemble(kernel: Kernel) -> str:
+    """Render a kernel back to assembly text."""
+    lines = [f".kernel {kernel.name}"]
+    if kernel.live_out:
+        regs = " ".join(f"r{r}" for r in sorted(kernel.live_out))
+        lines.append(f".live_out {regs}")
+    for bb in kernel.blocks:
+        lines.append(f".block {bb.label or 'b'}")
+        for ins in bb.instrs:
+            lines.append(f"    {_fmt_instr(ins)}")
+    return "\n".join(lines)

@@ -1,0 +1,147 @@
+"""Partitioned code generation for offload blocks (paper Section 3.2).
+
+For each :class:`~repro.isa.analyzer.CandidateBlock` we produce an
+:class:`OffloadBlock` carrying all three views the machine needs:
+
+* the *original* instruction sequence (executed when the offload decision
+  is negative),
+* the *GPU-side* sequence under partitioned execution -- ``OFLD.BEG``,
+  address-calculation ALUs, loads turned into RDF packet generation,
+  stores turned into WTA packet generation, offloaded ALUs replaced by
+  NOPs, and ``OFLD.END``,
+* the *NSU-side* sequence -- ``OFLD.BEG`` (register init), loads popping
+  the read-data buffer, the offloaded ALUs, stores consuming write-address
+  buffer entries, and ``OFLD.END`` (register return + ACK).
+
+The NSU-side body length is exactly the "# of instr. in offload blocks"
+column of Table 1 for the evaluated workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.analyzer import (
+    CandidateBlock,
+    live_in_regs,
+    live_out_regs,
+    _later_reads,
+    _nsu_side_indices,
+)
+from repro.isa.instructions import Instr, Opcode
+from repro.isa.kernel import Kernel
+
+
+@dataclass(frozen=True)
+class GPUInstr:
+    """One GPU-side instruction of the partitioned block (Figure 3(a))."""
+
+    kind: str               # beg | rdf | wta | addr_alu | nop | end
+    region_index: int       # index into the original region, -1 for beg/end
+    instr: Instr | None = None
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.kind:9s} {self.instr if self.instr else ''}"
+
+
+@dataclass(frozen=True)
+class NSUInstr:
+    """One NSU-side instruction of the partitioned block (Figure 3(b))."""
+
+    kind: str               # beg | ld | alu | st | end
+    region_index: int
+    instr: Instr | None = None
+    seq: int = -1           # memory sequence number for ld/st
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.kind:4s} seq={self.seq} {self.instr if self.instr else ''}"
+
+
+@dataclass(frozen=True)
+class OffloadBlock:
+    """A fully code-generated offload block."""
+
+    block_id: int
+    kernel_name: str
+    candidate: CandidateBlock
+    gpu_code: tuple[GPUInstr, ...]
+    nsu_code: tuple[NSUInstr, ...]
+    send_regs: frozenset[int]   # live-ins shipped in the offload command
+    ret_regs: frozenset[int]    # live-outs returned in the ACK
+    num_loads: int
+    num_stores: int
+
+    @property
+    def instrs(self) -> tuple[Instr, ...]:
+        """Original (unpartitioned) region instructions."""
+        return self.candidate.instrs
+
+    @property
+    def nsu_body_len(self) -> int:
+        """NSU instructions excluding OFLD.BEG/OFLD.END (Table 1 column)."""
+        return len(self.nsu_code) - 2
+
+    @property
+    def score(self) -> float:
+        return self.candidate.score
+
+    @property
+    def has_indirect_load(self) -> bool:
+        return any(i.op is Opcode.LD and i.indirect for i in self.instrs)
+
+    def listing(self) -> str:
+        """Figure 3-style side-by-side listing (for examples / debugging)."""
+        lines = [f"offload block {self.block_id} ({self.kernel_name}), "
+                 f"score={self.score:+.0f}B, send={sorted(self.send_regs)}, "
+                 f"ret={sorted(self.ret_regs)}"]
+        lines.append(" GPU code:")
+        lines.extend(f"  {g}" for g in self.gpu_code)
+        lines.append(" NSU code:")
+        lines.extend(f"  {n}" for n in self.nsu_code)
+        return "\n".join(lines)
+
+
+def generate_offload_block(kernel: Kernel, cand: CandidateBlock,
+                           block_id: int) -> OffloadBlock:
+    """Translate a candidate region into partitioned GPU/NSU code."""
+    instrs = cand.instrs
+    addr_calc = cand.addr_calc
+    later = _later_reads(kernel, cand.block_index, cand.stop)
+    send = live_in_regs(instrs, addr_calc)
+    ret = live_out_regs(instrs, addr_calc, later)
+
+    gpu: list[GPUInstr] = [GPUInstr("beg", -1)]
+    nsu: list[NSUInstr] = [NSUInstr("beg", -1)]
+    seq = 0
+    n_ld = n_st = 0
+    for idx, ins in enumerate(instrs):
+        if ins.op is Opcode.LD:
+            gpu.append(GPUInstr("rdf", idx, ins))
+            nsu.append(NSUInstr("ld", idx, ins, seq=seq))
+            seq += 1
+            n_ld += 1
+        elif ins.op is Opcode.ST:
+            gpu.append(GPUInstr("wta", idx, ins))
+            nsu.append(NSUInstr("st", idx, ins, seq=seq))
+            seq += 1
+            n_st += 1
+        elif idx in addr_calc:
+            gpu.append(GPUInstr("addr_alu", idx, ins))
+            # Address ALUs are removed from the NSU code (Section 3.2).
+        else:
+            gpu.append(GPUInstr("nop", idx, ins))   # "@NSU"-marked on GPU
+            nsu.append(NSUInstr("alu", idx, ins))
+    gpu.append(GPUInstr("end", -1))
+    nsu.append(NSUInstr("end", -1))
+
+    return OffloadBlock(
+        block_id=block_id,
+        kernel_name=kernel.name,
+        candidate=cand,
+        gpu_code=tuple(gpu),
+        nsu_code=tuple(nsu),
+        send_regs=send,
+        ret_regs=ret,
+        num_loads=n_ld,
+        num_stores=n_st,
+    )

@@ -1,0 +1,152 @@
+"""A small PTX-like instruction set used to author the evaluated workloads.
+
+The IR is deliberately minimal: the offload-block analyzer only needs to see
+register def-use, memory accesses, and the instruction classes that the paper
+excludes from offload blocks (scratchpad accesses, synchronization, control
+flow).  Register IDs are plain integers; each instruction writes at most one
+register.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Opcode(enum.Enum):
+    """Instruction classes distinguished by the static analyzer."""
+
+    LD = "ld"            # global-memory load
+    ST = "st"            # global-memory store
+    ALU = "alu"          # integer/FP arithmetic
+    SFU = "sfu"          # special-function (transcendental) op
+    SHMEM_LD = "shld"    # scratchpad ("shared memory") load
+    SHMEM_ST = "shst"    # scratchpad store
+    SYNC = "sync"        # barrier / __syncthreads
+    BRANCH = "bra"       # control flow (ends a basic block)
+    OFLD_BEG = "ofld.beg"
+    OFLD_END = "ofld.end"
+    NOP = "nop"
+
+
+#: Opcodes allowed inside an offload block (Section 3.1): simple loads,
+#: stores and ALU instructions only.
+OFFLOADABLE = frozenset({Opcode.LD, Opcode.ST, Opcode.ALU})
+
+#: Opcodes that access memory through the global address space.
+MEMORY_OPS = frozenset({Opcode.LD, Opcode.ST})
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One static instruction.
+
+    Attributes
+    ----------
+    op:
+        Instruction class.
+    dst:
+        Destination register ID, or ``None`` for instructions that do not
+        write a register (ST, SYNC, BRANCH, ...).
+    srcs:
+        Source register IDs read by the instruction.  For a ST this
+        includes the data register; the address register is listed
+        separately in ``addr_src`` (and is *also* a source).
+    addr_src:
+        For LD/ST: the register holding the (virtual) memory address.
+    array:
+        Symbolic name of the array accessed (LD/ST only); the workload's
+        trace generator keys on this to produce concrete addresses.
+    indirect:
+        True for a load whose address was computed from the value of a
+        previous load (the ``x = B[A[i]]`` pattern of Section 4.4).
+    dtype_bytes:
+        Per-thread access size for LD/ST (default one 32-bit word).
+    latency_class:
+        "alu" or "sfu"; lets workloads mark slow ops without new opcodes.
+    tag:
+        Free-form annotation used by tests and debug dumps.
+    """
+
+    op: Opcode
+    dst: int | None = None
+    srcs: tuple[int, ...] = ()
+    addr_src: int | None = None
+    array: str | None = None
+    indirect: bool = False
+    dtype_bytes: int = 4
+    latency_class: str = "alu"
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op in MEMORY_OPS and self.array is None:
+            raise ValueError(f"{self.op} requires an array symbol")
+        if self.op is Opcode.LD and self.dst is None:
+            raise ValueError("LD requires a destination register")
+        if self.op is Opcode.ST and self.dst is not None:
+            raise ValueError("ST must not write a register")
+
+    @property
+    def is_mem(self) -> bool:
+        return self.op in MEMORY_OPS
+
+    @property
+    def reads(self) -> tuple[int, ...]:
+        """All register IDs read, including the address register."""
+        if self.addr_src is not None and self.addr_src not in self.srcs:
+            return self.srcs + (self.addr_src,)
+        return self.srcs
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        dst = f"R{self.dst}" if self.dst is not None else "-"
+        srcs = ",".join(f"R{r}" for r in self.srcs)
+        mem = f" [{self.array}@R{self.addr_src}]" if self.is_mem else ""
+        ind = " (indirect)" if self.indirect else ""
+        return f"{self.op.value:8s} {dst} <- {srcs}{mem}{ind} {self.tag}"
+
+
+# ---------------------------------------------------------------------------
+# Concise constructors used by the workload definitions.
+# ---------------------------------------------------------------------------
+
+def ld(dst: int, addr: int, array: str, *, indirect: bool = False,
+       dtype_bytes: int = 4, tag: str = "") -> Instr:
+    """Global load: ``dst = array[addr]``."""
+    return Instr(Opcode.LD, dst=dst, addr_src=addr, array=array,
+                 indirect=indirect, dtype_bytes=dtype_bytes, tag=tag)
+
+
+def st(data: int, addr: int, array: str, *, dtype_bytes: int = 4,
+       tag: str = "") -> Instr:
+    """Global store: ``array[addr] = data``."""
+    return Instr(Opcode.ST, srcs=(data,), addr_src=addr, array=array,
+                 dtype_bytes=dtype_bytes, tag=tag)
+
+
+def alu(dst: int, *srcs: int, tag: str = "") -> Instr:
+    """Arithmetic op: ``dst = f(srcs...)``."""
+    return Instr(Opcode.ALU, dst=dst, srcs=tuple(srcs), tag=tag)
+
+
+def sfu(dst: int, *srcs: int, tag: str = "") -> Instr:
+    """Special-function op (exp/log/...): slow-latency ALU."""
+    return Instr(Opcode.SFU, dst=dst, srcs=tuple(srcs),
+                 latency_class="sfu", tag=tag)
+
+
+def shmem_ld(dst: int, addr: int, tag: str = "") -> Instr:
+    return Instr(Opcode.SHMEM_LD, dst=dst, srcs=(addr,), tag=tag)
+
+
+def shmem_st(data: int, addr: int, tag: str = "") -> Instr:
+    return Instr(Opcode.SHMEM_ST, srcs=(data, addr), tag=tag)
+
+
+def sync(tag: str = "") -> Instr:
+    return Instr(Opcode.SYNC, tag=tag)
+
+
+def branch(cond: int | None = None, tag: str = "") -> Instr:
+    srcs = (cond,) if cond is not None else ()
+    return Instr(Opcode.BRANCH, srcs=tuple(s for s in srcs if s is not None),
+                 tag=tag)

@@ -1,0 +1,71 @@
+"""Kernel and basic-block containers for the workload IR."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instructions import Instr, Opcode
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line sequence of instructions.
+
+    Control flow (``BRANCH``) may only appear as the last instruction; the
+    analyzer never extends an offload block across a basic-block boundary
+    (Section 3.1: "an offload block needs to avoid spanning multiple basic
+    blocks").
+    """
+
+    instrs: list[Instr]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        for i, ins in enumerate(self.instrs[:-1]):
+            if ins.op is Opcode.BRANCH:
+                raise ValueError(
+                    f"BRANCH at position {i} of block {self.label!r} is not "
+                    "terminal; split the basic block"
+                )
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def __iter__(self):
+        return iter(self.instrs)
+
+
+@dataclass
+class Kernel:
+    """A GPU kernel: an ordered list of basic blocks.
+
+    ``live_out`` lists registers that are consumed after the kernel body
+    (e.g. accumulators carried across loop iterations); the analyzer treats
+    them as used-after for live-out computation.
+    """
+
+    name: str
+    blocks: list[BasicBlock]
+    live_out: frozenset[int] = frozenset()
+
+    def all_instrs(self) -> list[Instr]:
+        return [ins for b in self.blocks for ins in b.instrs]
+
+    @property
+    def num_instrs(self) -> int:
+        return sum(len(b) for b in self.blocks)
+
+    def registers(self) -> set[int]:
+        regs: set[int] = set()
+        for ins in self.all_instrs():
+            if ins.dst is not None:
+                regs.add(ins.dst)
+            regs.update(ins.reads)
+        return regs
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        lines = [f"kernel {self.name}:"]
+        for b in self.blocks:
+            lines.append(f" block {b.label}:")
+            lines.extend(f"  {ins}" for ins in b.instrs)
+        return "\n".join(lines)

@@ -1,0 +1,18 @@
+"""HMC-like 3D-stacked memory substrate: address mapping, DRAM timing,
+FR-FCFS vault controllers, and the stack container."""
+
+from repro.memory.address import AddressMap, Location
+from repro.memory.dram import BankState, DRAMTimingSM
+from repro.memory.vault import DRAMRequest, VaultController, DRAMStats
+from repro.memory.hmc import HMCStack
+
+__all__ = [
+    "AddressMap",
+    "Location",
+    "BankState",
+    "DRAMTimingSM",
+    "DRAMRequest",
+    "VaultController",
+    "DRAMStats",
+    "HMCStack",
+]

@@ -1,0 +1,78 @@
+"""One HMC stack: 16 vault controllers behind a logic-layer NoC.
+
+The logic layer receives packets from the stack's off-chip links (from the
+GPU or from peer stacks over the memory network), routes memory requests to
+the owning vault, and forwards responses.  The intra-HMC NoC hop is modelled
+as a small fixed latency plus byte accounting (it is generously provisioned
+in the HMC and never the bottleneck, but its traffic costs energy --
+Figure 10 has an "Intra-HMC NoC" component).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.config import LINE_SIZE, SystemConfig
+from repro.memory.address import AddressMap
+from repro.memory.dram import DRAMTimingSM
+from repro.memory.vault import DRAMRequest, DRAMStats, VaultController, make_vaults
+from repro.sim.engine import Engine, LinkCounters
+
+#: Fixed logic-layer NoC traversal latency (SM cycles).
+NOC_LATENCY = 4
+
+
+class HMCStack:
+    """Vaults + logic-layer routing for one stack."""
+
+    def __init__(self, engine: Engine, cfg: SystemConfig, hmc_id: int,
+                 amap: AddressMap, counters: LinkCounters) -> None:
+        self.engine = engine
+        self.cfg = cfg
+        self.hmc_id = hmc_id
+        self.amap = amap
+        self.counters = counters
+        self.stats = DRAMStats()
+        timing = DRAMTimingSM.from_config(
+            cfg.hmc.timing, cfg.gpu.sm_clock_mhz,
+            cfg.hmc.vault_bus_bytes_per_dram_cycle)
+        self.timing = timing
+        self.vaults: list[VaultController] = make_vaults(
+            engine, timing, cfg.hmc.num_vaults, cfg.hmc.banks_per_vault,
+            self.stats, cfg.hmc.vault_queue_size, f"hmc{hmc_id}")
+        # Attached by the system after construction:
+        self.nsu = None
+
+    # -- DRAM access --------------------------------------------------------
+
+    def access_line(self, line_addr: int, is_write: bool,
+                    on_done: Callable[[DRAMRequest], None],
+                    meta: object = None,
+                    noc_bytes: int = LINE_SIZE) -> None:
+        """Access one cache line in this stack's DRAM.
+
+        ``on_done`` fires when the data is available at the logic layer
+        (read) or written (write).  ``noc_bytes`` is charged to the
+        intra-HMC NoC for the request+response traversal.
+        """
+        if self.amap.hmc_of(line_addr * LINE_SIZE) != self.hmc_id:
+            raise ValueError(
+                f"line {line_addr:#x} does not belong to HMC {self.hmc_id}")
+        vault_idx = self.amap.vault_of_line(line_addr)
+        bank, row = self.amap.bank_row_of_line(line_addr)
+        self.counters.add("intra_hmc", noc_bytes)
+        req = DRAMRequest(line_addr=line_addr, is_write=is_write,
+                          on_done=on_done, bank=bank, row=row,
+                          extra_latency=NOC_LATENCY, meta=meta)
+        self.vaults[vault_idx].submit(req)
+
+    # -- convenience --------------------------------------------------------
+
+    @property
+    def queue_occupancy(self) -> int:
+        return sum(len(v.queue) for v in self.vaults)
+
+    def peak_bandwidth_bytes_per_cycle(self) -> float:
+        """Aggregate vault-bus bandwidth (the stack's peak DRAM bandwidth)."""
+        per_vault = LINE_SIZE / max(self.timing.tCCD, self.timing.burst)
+        return per_vault * len(self.vaults)

@@ -1,0 +1,11 @@
+"""Inter-HMC memory network (3D hypercube) and GPU off-chip links."""
+
+from repro.network.topology import hypercube_topology, dimension_order_path
+from repro.network.fabric import MemoryNetwork, GPULinks
+
+__all__ = [
+    "hypercube_topology",
+    "dimension_order_path",
+    "MemoryNetwork",
+    "GPULinks",
+]

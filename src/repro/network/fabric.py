@@ -1,0 +1,118 @@
+"""Link fabrics: the inter-HMC memory network and the GPU off-chip links.
+
+Both fabrics are built from :class:`repro.sim.engine.Link` servers, one per
+(edge, direction).  The memory network forwards packets hop-by-hop along the
+dimension-order route so every traversed link pays serialization -- this is
+what makes multi-hop RDF forwarding cost real bandwidth, and what keeps
+inter-HMC data movement off the GPU links (the paper's central bandwidth
+argument).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import networkx as nx
+
+from repro.config import SystemConfig
+from repro.network.topology import dimension_order_path, hypercube_topology
+from repro.sim.engine import Engine, Link, LinkCounters
+
+#: Per-hop router pipeline latency (SM cycles).
+HOP_LATENCY = 6
+#: GPU link propagation latency (SM cycles).
+GPU_LINK_LATENCY = 10
+
+
+class MemoryNetwork:
+    """Hypercube of HMC-to-HMC serdes links."""
+
+    def __init__(self, engine: Engine, cfg: SystemConfig,
+                 counters: LinkCounters) -> None:
+        self.engine = engine
+        self.cfg = cfg
+        self.graph: nx.Graph = hypercube_topology(cfg.num_hmcs)
+        bpc = cfg.hmc.link_bytes_per_sm_cycle(cfg.gpu.sm_clock_mhz)
+        self._links: dict[tuple[int, int], Link] = {}
+        for u, v in self.graph.edges:
+            for a, b in ((u, v), (v, u)):
+                self._links[(a, b)] = Link(
+                    engine, f"net{a}->{b}", bpc, latency=HOP_LATENCY,
+                    traffic_class="mem_net", counters=counters)
+
+    def link(self, src: int, dst: int) -> Link:
+        return self._links[(src, dst)]
+
+    def send(self, src: int, dst: int, size_bytes: int,
+             deliver: Callable[[], None]) -> None:
+        """Route a packet from stack ``src`` to stack ``dst``.
+
+        ``deliver`` fires at the destination's logic layer.  Local traffic
+        (src == dst) skips the network entirely.
+        """
+        if src == dst:
+            self.engine.at(self.engine.now, deliver)
+            return
+        path = dimension_order_path(src, dst)
+        self._forward(path, 0, size_bytes, deliver)
+
+    def _forward(self, path: list[int], hop: int, size: int,
+                 deliver: Callable[[], None]) -> None:
+        if hop == len(path) - 1:
+            deliver()
+            return
+        link = self._links[(path[hop], path[hop + 1])]
+        link.send(size, lambda: self._forward(path, hop + 1, size, deliver))
+
+    def hops(self, src: int, dst: int) -> int:
+        return len(dimension_order_path(src, dst)) - 1
+
+    def total_bytes(self) -> int:
+        return sum(l.bytes_sent for l in self._links.values())
+
+
+class GPULinks:
+    """The GPU's off-chip links, one bidirectional link per HMC.
+
+    Table 2: 8 bidirectional links at 20 GB/s per direction.  With 8 stacks,
+    each stack hangs off one dedicated link (the memory-network footnote of
+    Figure 1); requests to stack ``i`` serialize on link ``i`` downstream and
+    responses on link ``i`` upstream.
+    """
+
+    def __init__(self, engine: Engine, cfg: SystemConfig,
+                 counters: LinkCounters) -> None:
+        if cfg.gpu.num_links != cfg.num_hmcs:
+            raise ValueError(
+                f"system wiring expects one GPU link per HMC "
+                f"({cfg.gpu.num_links} links, {cfg.num_hmcs} HMCs)")
+        self.engine = engine
+        bpc = cfg.gpu.link_bytes_per_sm_cycle
+        self.down: list[Link] = []   # GPU -> HMC
+        self.up: list[Link] = []     # HMC -> GPU
+        for i in range(cfg.num_hmcs):
+            self.down.append(Link(engine, f"gpu->hmc{i}", bpc,
+                                  latency=GPU_LINK_LATENCY,
+                                  traffic_class="gpu_link",
+                                  counters=counters))
+            self.up.append(Link(engine, f"hmc{i}->gpu", bpc,
+                                latency=GPU_LINK_LATENCY,
+                                traffic_class="gpu_link",
+                                counters=counters))
+
+    def to_hmc(self, hmc: int, size_bytes: int,
+               deliver: Callable[[], None]) -> None:
+        self.down[hmc].send(size_bytes, deliver)
+
+    def to_gpu(self, hmc: int, size_bytes: int,
+               deliver: Callable[[], None]) -> None:
+        self.up[hmc].send(size_bytes, deliver)
+
+    def bytes_down(self) -> int:
+        return sum(l.bytes_sent for l in self.down)
+
+    def bytes_up(self) -> int:
+        return sum(l.bytes_sent for l in self.up)
+
+    def total_bytes(self) -> int:
+        return self.bytes_down() + self.bytes_up()

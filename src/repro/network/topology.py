@@ -1,0 +1,48 @@
+"""Hypercube topology over the HMC stacks (Section 5: "3D hypercube topology
+to interconnect 8 HMCs, using 3 links per HMC").
+
+Node IDs are stack indices; two stacks are connected iff their IDs differ in
+exactly one bit.  Routing is deterministic dimension-order (fix bit 0 first),
+which is minimal and deadlock-free on a hypercube.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+
+def hypercube_topology(num_nodes: int) -> nx.Graph:
+    """Build the n-dimensional hypercube graph for ``num_nodes`` stacks."""
+    if num_nodes < 1 or num_nodes & (num_nodes - 1):
+        raise ValueError("hypercube needs a power-of-two node count")
+    g = nx.Graph()
+    g.add_nodes_from(range(num_nodes))
+    dim = num_nodes.bit_length() - 1
+    for node in range(num_nodes):
+        for d in range(dim):
+            peer = node ^ (1 << d)
+            if peer > node:
+                g.add_edge(node, peer, dim=d)
+    return g
+
+
+def dimension_order_path(src: int, dst: int) -> list[int]:
+    """Minimal dimension-order route from ``src`` to ``dst`` (inclusive)."""
+    if src < 0 or dst < 0:
+        raise ValueError("node ids must be non-negative")
+    path = [src]
+    cur = src
+    diff = src ^ dst
+    d = 0
+    while diff:
+        if diff & 1:
+            cur ^= 1 << d
+            path.append(cur)
+        diff >>= 1
+        d += 1
+    return path
+
+
+def links_per_node(num_nodes: int) -> int:
+    """Memory-network links each stack contributes (= hypercube dimension)."""
+    return num_nodes.bit_length() - 1

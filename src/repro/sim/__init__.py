@@ -1,0 +1,13 @@
+"""Cycle-level discrete-event simulation engine and system wiring."""
+
+from repro.sim.engine import Engine, Link, RateAccumulator
+from repro.sim.results import RunResult, StallBreakdown, TrafficBytes
+
+__all__ = [
+    "Engine",
+    "Link",
+    "RateAccumulator",
+    "RunResult",
+    "StallBreakdown",
+    "TrafficBytes",
+]

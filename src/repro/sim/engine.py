@@ -1,0 +1,171 @@
+"""Discrete-event core: event queue, bandwidth-limited links, clock ratios.
+
+The simulator is cycle-granular in the *SM clock domain* (700 MHz).  Latency
+and bandwidth of slower/faster domains (NSU at half rate, DRAM at ~1.05x,
+crossbar at 1.79x) are expressed by converting to SM cycles; components that
+issue work every cycle of their own domain use a :class:`RateAccumulator`.
+
+Links model serialization honestly: a packet of ``size`` bytes occupies the
+link for ``ceil(size / bytes_per_cycle)`` cycles and is delivered after an
+additional fixed propagation latency.  Queueing is implicit in the
+``busy_until`` horizon (an infinite-queue, finite-rate server), which is the
+standard first-order model for serdes links; finite NDP buffers -- the ones
+the paper's deadlock-avoidance protocol manages -- are modelled explicitly in
+:mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable
+
+
+class Engine:
+    """A simple integer-time event queue.
+
+    Components call :meth:`at` / :meth:`after` to schedule callbacks; the
+    system driver interleaves :meth:`process_due` with per-cycle component
+    ticks and may fast-forward over idle regions with :meth:`next_event_time`.
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._events: list[tuple[int, int, Callable[[], None]]] = []
+        self._seq = 0
+        self.events_processed = 0
+
+    def at(self, time: int, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` to run at absolute cycle ``time``."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule at {time} < now {self.now}")
+        self._seq += 1
+        heapq.heappush(self._events, (int(time), self._seq, fn))
+
+    def after(self, delay: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` to run ``delay`` cycles from now (ceil'd)."""
+        self.at(self.now + max(0, math.ceil(delay)), fn)
+
+    def process_due(self) -> int:
+        """Run all events scheduled at or before the current cycle."""
+        n = 0
+        ev = self._events
+        while ev and ev[0][0] <= self.now:
+            _, _, fn = heapq.heappop(ev)
+            fn()
+            n += 1
+        self.events_processed += n
+        return n
+
+    def next_event_time(self) -> int | None:
+        return self._events[0][0] if self._events else None
+
+    @property
+    def pending(self) -> int:
+        return len(self._events)
+
+    def drain(self, limit_cycles: int = 10 ** 9) -> None:
+        """Advance time event-to-event until the queue is empty (tests)."""
+        deadline = self.now + limit_cycles
+        while self._events and self.now <= deadline:
+            self.now = max(self.now, self._events[0][0])
+            self.process_due()
+
+
+class RateAccumulator:
+    """Fractional clock-ratio accumulator.
+
+    ``rate`` is the number of *local* cycles per SM cycle.  Each SM cycle,
+    :meth:`step` returns the number of whole local cycles that elapse, so a
+    350 MHz NSU (rate 0.5) executes on every other SM cycle and a 1250 MHz
+    crossbar (rate ~1.79) gets one or two slots per SM cycle.
+    """
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = rate
+        self._acc = 0.0
+
+    def step(self) -> int:
+        self._acc += self.rate
+        n = int(self._acc)
+        self._acc -= n
+        return n
+
+    def step_many(self, cycles: int) -> int:
+        """Advance ``cycles`` SM cycles at once; returns local cycles elapsed."""
+        self._acc += self.rate * cycles
+        n = int(self._acc)
+        self._acc -= n
+        return n
+
+
+class Link:
+    """A unidirectional bandwidth-limited channel.
+
+    ``traffic_class`` tags the link for traffic/energy accounting
+    ("gpu_link", "mem_net", "intra_hmc").
+    """
+
+    def __init__(self, engine: Engine, name: str, bytes_per_cycle: float,
+                 latency: int = 4, traffic_class: str = "gpu_link",
+                 counters: "LinkCounters | None" = None) -> None:
+        if bytes_per_cycle <= 0:
+            raise ValueError("bytes_per_cycle must be positive")
+        self.engine = engine
+        self.name = name
+        self.bytes_per_cycle = bytes_per_cycle
+        self.latency = latency
+        self.traffic_class = traffic_class
+        self.busy_until = 0
+        self.bytes_sent = 0
+        self.packets_sent = 0
+        self.counters = counters
+
+    def send(self, size_bytes: int, deliver: Callable[[], None]) -> int:
+        """Transmit ``size_bytes``; call ``deliver`` on arrival.
+
+        Returns the delivery cycle.  Serialization queues behind earlier
+        packets (``busy_until``); propagation latency is added on top.
+        """
+        if size_bytes <= 0:
+            raise ValueError("packet size must be positive")
+        now = self.engine.now
+        start = max(now, self.busy_until)
+        ser = math.ceil(size_bytes / self.bytes_per_cycle)
+        self.busy_until = start + ser
+        arrival = self.busy_until + self.latency
+        self.bytes_sent += size_bytes
+        self.packets_sent += 1
+        if self.counters is not None:
+            self.counters.add(self.traffic_class, size_bytes)
+        self.engine.at(arrival, deliver)
+        return arrival
+
+    @property
+    def queue_delay(self) -> int:
+        """Cycles a packet submitted now would wait before serialization."""
+        return max(0, self.busy_until - self.engine.now)
+
+    def utilization(self, elapsed_cycles: int) -> float:
+        if elapsed_cycles <= 0:
+            return 0.0
+        return min(1.0, self.bytes_sent / (self.bytes_per_cycle * elapsed_cycles))
+
+
+class LinkCounters:
+    """Aggregate byte counters per traffic class (feeds the energy model)."""
+
+    def __init__(self) -> None:
+        self.bytes_by_class: dict[str, int] = {}
+
+    def add(self, traffic_class: str, nbytes: int) -> None:
+        self.bytes_by_class[traffic_class] = (
+            self.bytes_by_class.get(traffic_class, 0) + nbytes)
+
+    def get(self, traffic_class: str) -> int:
+        return self.bytes_by_class.get(traffic_class, 0)
+
+    def total(self) -> int:
+        return sum(self.bytes_by_class.values())

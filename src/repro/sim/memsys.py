@@ -1,0 +1,181 @@
+"""GPU memory hierarchy: per-SM L1s, per-partition L2 slices, off-chip path.
+
+Baseline memory path (Figure 2(a)): coalesced line access -> L1 (write
+through) -> L2 slice of the owning HMC -> GPU link -> vault -> full-line
+response back up the same path.  The L2 is sliced per memory partition (one
+per HMC, as in GPGPU-sim); slice selection follows the random page->HMC
+mapping, so L2 capacity is shared evenly.
+
+The NDP path uses :meth:`rdf_probe` (a tag probe of L1+L2 without fill) and
+:meth:`invalidate` (Section 4.2 coherence).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.config import LINE_SIZE, SystemConfig
+from repro.core.packets import PacketSizes
+from repro.gpu.cache import Cache, CacheStats, MSHRFile
+from repro.gpu.coalescer import MemAccess
+from repro.memory.address import AddressMap
+from repro.memory.hmc import HMCStack
+from repro.network.fabric import GPULinks
+from repro.sim.engine import Engine
+
+#: Crossbar traversal latency between an SM and an L2 slice (SM cycles).
+XBAR_LATENCY = 8
+#: Crossbar slot time per request at an L2 slice ingress port: the xbar
+#: runs at 1250 MHz (Table 2), one request per xbar cycle per slice.
+XBAR_SLOT = 700.0 / 1250.0
+
+
+class GPUMemSystem:
+    """Caches + links + DRAM plumbing for baseline and inline execution."""
+
+    def __init__(self, engine: Engine, cfg: SystemConfig, *,
+                 amap: AddressMap, gpu_links: GPULinks,
+                 hmcs: list[HMCStack]) -> None:
+        self.engine = engine
+        self.cfg = cfg
+        self.amap = amap
+        self.gpu_links = gpu_links
+        self.hmcs = hmcs
+        self.l1_stats = CacheStats()
+        self.l2_stats = CacheStats()
+        g = cfg.gpu
+        self.l1 = [Cache(g.l1d.size_bytes, g.l1d.assoc, g.l1d.line_size,
+                         self.l1_stats) for _ in range(g.num_sms)]
+        self.l1_mshr = [MSHRFile(g.l1d.mshr_entries, self.l1_stats)
+                        for _ in range(g.num_sms)]
+        slice_bytes = max(g.l2.line_size * g.l2.assoc,
+                          g.l2.size_bytes // cfg.num_hmcs)
+        self.l2 = [Cache(slice_bytes, g.l2.assoc, g.l2.line_size,
+                         self.l2_stats) for _ in range(cfg.num_hmcs)]
+        self.l2_mshr = [MSHRFile(g.l2.mshr_entries, self.l2_stats)
+                        for _ in range(cfg.num_hmcs)]
+        self.l1_latency = g.l1d.hit_latency
+        self.l2_latency = g.l2.hit_latency
+        # Requests parked while an L2 slice's MSHR file is full; retried
+        # as fills free entries (a real GPU's memory-partition miss queue).
+        self._l2_waiters: list[list[tuple[int, int]]] = [
+            [] for _ in range(cfg.num_hmcs)]
+        # Per-slice crossbar ingress port occupancy (one request per xbar
+        # cycle): requests queue behind earlier arrivals at a hot slice.
+        self._xbar_free = [0.0] * cfg.num_hmcs
+        self.xbar_queue_cycles = 0
+        self.invalidation_bytes = 0
+        self.dram_read_requests = 0
+        self.store_bytes = 0
+
+    # -- baseline / inline loads --------------------------------------------------
+
+    def load(self, sm, access: MemAccess, on_done: Callable[[], None]) -> bool:
+        """One coalesced line load from SM ``sm``.  Returns False on a
+        structural reject (L1 MSHR full)."""
+        sm_id = sm.sm_id
+        line = access.line_addr
+        l1 = self.l1[sm_id]
+        if l1.lookup(line):
+            self.engine.after(self.l1_latency, on_done)
+            return True
+        status = self.l1_mshr[sm_id].allocate(line, on_done)
+        if status == "full":
+            return False
+        if status == "merged":
+            return True
+        # Primary L1 miss: cross the interconnect to the owning L2 slice,
+        # queueing behind earlier requests at the slice's ingress port.
+        part = self.amap.hmc_of(line * LINE_SIZE)
+        now = self.engine.now
+        start = max(float(now), self._xbar_free[part])
+        self._xbar_free[part] = start + XBAR_SLOT
+        delay = int(start) - now + XBAR_LATENCY
+        self.xbar_queue_cycles += int(start) - now
+        self.engine.after(delay, lambda: self._l2_access(sm_id, line))
+        return True
+
+    def _l2_access(self, sm_id: int, line: int) -> None:
+        part = self.amap.hmc_of(line * LINE_SIZE)
+        l2 = self.l2[part]
+        if l2.lookup(line):
+            self.engine.after(self.l2_latency,
+                              lambda: self._fill_l1(sm_id, line))
+            return
+        status = self.l2_mshr[part].allocate(
+            line, lambda: self._fill_l1(sm_id, line))
+        if status == "full":
+            # Park in the partition's miss queue; retried on fills.
+            self._l2_waiters[part].append((sm_id, line))
+            return
+        if status == "merged":
+            return
+        self._fetch_from_dram(part, line)
+
+    def _fetch_from_dram(self, part: int, line: int) -> None:
+        self.dram_read_requests += 1
+        req_size = PacketSizes.mem_read_request()
+        resp_size = PacketSizes.mem_read_response()
+
+        def at_hmc() -> None:
+            self.hmcs[part].access_line(line, False,
+                                        lambda r: send_response())
+
+        def send_response() -> None:
+            self.gpu_links.to_gpu(part, resp_size,
+                                  lambda: self._fill_l2(part, line))
+
+        self.gpu_links.to_hmc(part, req_size, at_hmc)
+
+    def _fill_l2(self, part: int, line: int) -> None:
+        self.l2[part].insert(line)
+        self.l2_mshr[part].fill(line)
+        waiters = self._l2_waiters[part]
+        mshr = self.l2_mshr[part]
+        # Admit parked requests while MSHR capacity remains; hits and
+        # merges don't consume entries, so keep draining until the file
+        # is full again or the queue empties (avoids stranding a waiter
+        # behind a request that turned into a late hit).
+        while waiters and len(mshr) < mshr.num_entries:
+            sm_id, wline = waiters.pop(0)
+            self._l2_access(sm_id, wline)
+
+    def _fill_l1(self, sm_id: int, line: int) -> None:
+        self.l1[sm_id].insert(line)
+        self.l1_mshr[sm_id].fill(line)
+
+    # -- baseline / inline stores ---------------------------------------------------
+
+    def store(self, sm, access: MemAccess) -> bool:
+        """Write-through store of one coalesced line access."""
+        line = access.line_addr
+        self.l1[sm.sm_id].touch_write(line)
+        part = self.amap.hmc_of(line * LINE_SIZE)
+        self.l2[part].touch_write(line)
+        size = PacketSizes.mem_write(access.words)
+        self.store_bytes += size
+        self.gpu_links.to_hmc(
+            part, size,
+            lambda: self.hmcs[part].access_line(line, True, lambda r: None,
+                                                noc_bytes=size))
+        return True
+
+    # -- NDP hooks ---------------------------------------------------------------------
+
+    def rdf_probe(self, sm_id: int, line: int) -> bool:
+        """RDF cache check (Section 4.1.1): L1 of the issuing SM, then the
+        owning L2 slice.  No fill on miss."""
+        if self.l1[sm_id].probe(line):
+            return True
+        part = self.amap.hmc_of(line * LINE_SIZE)
+        return self.l2[part].probe(line)
+
+    def invalidate(self, line: int) -> None:
+        """Apply a vault-originated invalidation (Section 4.2)."""
+        part = self.amap.hmc_of(line * LINE_SIZE)
+        self.l2[part].invalidate(line)
+        for l1 in self.l1:
+            l1.invalidate(line)
+
+    def count_invalidation_bytes(self, nbytes: int) -> None:
+        self.invalidation_bytes += nbytes

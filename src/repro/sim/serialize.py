@@ -1,0 +1,50 @@
+"""Serialization of run results to/from JSON.
+
+Lets the benchmark harness, CLI and notebooks archive simulation outputs
+(`RunResult`) and reload them for later comparison without re-simulating.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from repro.sim.results import RunResult, StallBreakdown, TrafficBytes
+
+
+def result_to_dict(r: RunResult) -> dict:
+    d = dataclasses.asdict(r)
+    # ``extra`` may hold tuples (epoch log); normalize to lists for JSON.
+    d["extra"] = json.loads(json.dumps(d["extra"], default=list))
+    return d
+
+
+def result_from_dict(d: dict) -> RunResult:
+    d = dict(d)
+    d["stalls"] = StallBreakdown(**d["stalls"])
+    d["traffic"] = TrafficBytes(**d["traffic"])
+    return RunResult(**d)
+
+
+def dump_results(results: dict[str, RunResult] | list[RunResult],
+                 path: str) -> None:
+    """Write results (a dict keyed by name, or a list) to a JSON file."""
+    if isinstance(results, dict):
+        payload = {"kind": "dict",
+                   "results": {k: result_to_dict(v)
+                               for k, v in results.items()}}
+    else:
+        payload = {"kind": "list",
+                   "results": [result_to_dict(v) for v in results]}
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=1)
+
+
+def load_results(path: str):
+    """Inverse of :func:`dump_results`."""
+    with open(path) as f:
+        payload = json.load(f)
+    if payload["kind"] == "dict":
+        return {k: result_from_dict(v)
+                for k, v in payload["results"].items()}
+    return [result_from_dict(v) for v in payload["results"]]

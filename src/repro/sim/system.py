@@ -1,0 +1,226 @@
+"""System assembly and the main simulation loop.
+
+``System`` wires the GPU (SMs + caches + links), the HMC stacks, the memory
+network, the NSUs and the NDP controller together from a
+:class:`~repro.config.SystemConfig`, distributes a workload's warp traces
+across the SMs, and runs to completion with epoch-based offload-ratio
+updates (Algorithm 1).
+"""
+
+from __future__ import annotations
+
+
+from repro.config import OffloadMode, SystemConfig
+from repro.core.decision import DynamicDecider, make_decider
+from repro.core.nsu import NSU
+from repro.core.offload import NDPController
+from repro.gpu.sm import SM
+from repro.memory.address import AddressMap
+from repro.memory.hmc import HMCStack
+from repro.network.fabric import GPULinks, MemoryNetwork
+from repro.sim.engine import Engine, LinkCounters, RateAccumulator
+from repro.sim.results import RunResult, StallBreakdown, TrafficBytes
+
+
+class SimulationTimeout(RuntimeError):
+    """The run exceeded its cycle budget (lost packet / deadlock guard)."""
+
+
+class System:
+    """A complete simulated node: GPU + stacks + network + NDP."""
+
+    def __init__(self, cfg: SystemConfig, *, config_name: str = "") -> None:
+        self.cfg = cfg
+        self.config_name = config_name or cfg.ndp.mode
+        self.engine = Engine()
+        self.counters = LinkCounters()
+        self.amap = AddressMap(cfg)
+        self.gpu_links = GPULinks(self.engine, cfg, self.counters)
+        self.network = MemoryNetwork(self.engine, cfg, self.counters)
+        self.hmcs = [HMCStack(self.engine, cfg, i, self.amap, self.counters)
+                     for i in range(cfg.num_hmcs)]
+
+        from repro.sim.memsys import GPUMemSystem
+        self.memsys = GPUMemSystem(self.engine, cfg, amap=self.amap,
+                                   gpu_links=self.gpu_links, hmcs=self.hmcs)
+
+        self.decider = make_decider(cfg.ndp, seed=cfg.seed)
+        ndp_enabled = cfg.ndp.mode != OffloadMode.OFF
+        self.ndp = None
+        self.nsus: list[NSU] = []
+        if ndp_enabled:
+            self.ndp = NDPController(
+                self.engine, cfg, amap=self.amap, memsys=self.memsys,
+                gpu_links=self.gpu_links, network=self.network,
+                hmcs=self.hmcs, counters=self.counters, decider=self.decider)
+            self.nsus = [NSU(self.engine, cfg, i, self.ndp)
+                         for i in range(cfg.num_hmcs)]
+            self.ndp.nsus = self.nsus
+            for hmc, nsu in zip(self.hmcs, self.nsus):
+                hmc.nsu = nsu
+
+        g = cfg.gpu
+        self.sms = [
+            SM(self.engine, i, warps_per_sm=g.warps_per_sm,
+               alu_latency=g.alu_latency,
+               max_inflight_loads=g.max_inflight_loads_per_warp,
+               memsys=self.memsys, ndp=self.ndp, decider=self.decider,
+               scheduler=g.scheduler)
+            for i in range(g.num_sms)
+        ]
+        self._nsu_rate = cfg.nsu.cycles_per_sm_cycle(g.sm_clock_mhz)
+        self._nsu_accs = [RateAccumulator(self._nsu_rate)
+                          for _ in self.nsus]
+        self.workload_name = ""
+        self._epoch_log: list[tuple[int, float]] = []
+
+    # -- workload loading ----------------------------------------------------------
+
+    def load_workload(self, name: str, traces) -> None:
+        """Distribute warp traces round-robin across the SMs."""
+        self.workload_name = name
+        n = len(self.sms)
+        buckets = [[] for _ in range(n)]
+        for i, t in enumerate(traces):
+            buckets[i % n].append(t)
+        for sm, bucket in zip(self.sms, buckets):
+            sm.assign(bucket)
+
+    def set_code_layout(self, blocks) -> None:
+        if self.ndp is not None:
+            self.ndp.set_code_layout(blocks)
+
+    # -- main loop -------------------------------------------------------------------
+
+    def run(self, max_cycles: int = 20_000_000) -> RunResult:
+        engine = self.engine
+        sms = self.sms
+        nsus = self.nsus
+        accs = self._nsu_accs
+        epoch = self.cfg.ndp.epoch_cycles
+        dyn = isinstance(self.decider, DynamicDecider)
+        next_epoch = engine.now + epoch if dyn else None
+        last_epoch_at = engine.now
+        prev_block_instrs = 0
+        # Algorithm 1 compares per-epoch throughput of offload-block
+        # instructions.  At our scaled run lengths the warp population
+        # ramps down within the run, which would superimpose a monotonic
+        # decline on the signal; normalizing by active-warp-cycles makes
+        # epochs comparable (the paper's multi-million-cycle runs are in
+        # steady state and don't need this).
+        active_integral = 0
+        prev_active_integral = 0
+
+        while True:
+            engine.process_due()
+            live = 0
+            for sm in sms:
+                sm.tick()
+                live += sm.live_warps
+            active_integral += live
+            for nsu, acc in zip(nsus, accs):
+                for _ in range(acc.step()):
+                    nsu.tick()
+
+            if dyn and engine.now >= next_epoch:
+                total = sum(sm.block_instrs_retired for sm in sms)
+                d_active = max(1, active_integral - prev_active_integral)
+                ipc = (total - prev_block_instrs) / d_active
+                prev_block_instrs = total
+                prev_active_integral = active_integral
+                last_epoch_at = engine.now
+                self.decider.end_epoch(ipc)
+                self._epoch_log.append((engine.now, self.decider.ratio))
+                next_epoch = engine.now + epoch
+
+            if self._finished():
+                break
+            if engine.now >= max_cycles:
+                raise SimulationTimeout(
+                    f"{self.workload_name}/{self.config_name}: exceeded "
+                    f"{max_cycles} cycles; "
+                    f"{sum(sm.live_warps for sm in sms)} warps live")
+
+            # Fast-forward across quiet regions: nothing can issue until
+            # the next event, so jump there and account the idle cycles.
+            if (not any(sm.can_issue_now for sm in sms)
+                    and not any(n.has_ready for n in nsus)):
+                nt = engine.next_event_time()
+                if nt is not None and nt > engine.now + 1:
+                    skip = nt - engine.now - 1
+                    active_integral += skip * sum(
+                        sm.live_warps for sm in sms)
+                    for sm in sms:
+                        sm.classify_idle_bulk(skip)
+                    for nsu, acc in zip(nsus, accs):
+                        idle_cycles = acc.step_many(skip)
+                        if idle_cycles:
+                            nsu.account_idle(idle_cycles)
+                    engine.now = nt - 1
+            engine.now += 1
+
+        return self._collect()
+
+    def _finished(self) -> bool:
+        if self.engine.pending:
+            return False
+        if any(not sm.done for sm in self.sms):
+            return False
+        return all(n.idle for n in self.nsus)
+
+    # -- result collection --------------------------------------------------------------
+
+    def _collect(self) -> RunResult:
+        stalls = StallBreakdown()
+        for sm in self.sms:
+            stalls = stalls.merged(sm.stalls)
+        dram_acts = sum(h.stats.activations for h in self.hmcs)
+        dram_reads = sum(h.stats.read_bytes for h in self.hmcs)
+        dram_writes = sum(h.stats.write_bytes for h in self.hmcs)
+        traffic = TrafficBytes(
+            gpu_link=self.counters.get("gpu_link"),
+            mem_net=self.counters.get("mem_net"),
+            intra_hmc=self.counters.get("intra_hmc"),
+            invalidations=self.memsys.invalidation_bytes,
+        )
+        nsu_occ = sum(n.occupancy_sum for n in self.nsus)
+        nsu_cycles = sum(n.cycles for n in self.nsus)
+        icache_touched = sum(len(n.icache_touched) for n in self.nsus)
+        icache_total = sum(n.icache_lines for n in self.nsus)
+        res = RunResult(
+            workload=self.workload_name,
+            config_name=self.config_name,
+            cycles=self.engine.now,
+            instructions=sum(sm.instructions for sm in self.sms),
+            nsu_instructions=sum(n.instructions for n in self.nsus),
+            warps_completed=sum(sm.warps_completed for sm in self.sms),
+            stalls=stalls,
+            traffic=traffic,
+            dram_activations=dram_acts,
+            dram_reads=dram_reads,
+            dram_writes=dram_writes,
+            l1_hits=self.memsys.l1_stats.hits,
+            l1_misses=self.memsys.l1_stats.misses,
+            l2_hits=self.memsys.l2_stats.hits,
+            l2_misses=self.memsys.l2_stats.misses,
+            l1_accesses=self.memsys.l1_stats.accesses
+            + self.memsys.l1_stats.accesses_probe,
+            l2_accesses=self.memsys.l2_stats.accesses
+            + self.memsys.l2_stats.accesses_probe,
+            rdf_packets=self.ndp.stats.rdf_packets if self.ndp else 0,
+            rdf_cache_hits=self.ndp.stats.rdf_hits if self.ndp else 0,
+            offloads_issued=sum(sm.offloads for sm in self.sms),
+            offloads_suppressed=getattr(self.decider, "suppressed_count", 0),
+            blocks_total=sum(sm.offloads + sm.inlines for sm in self.sms),
+            nsu_occupancy_sum=nsu_occ / max(1, self.cfg.nsu.num_warp_slots),
+            nsu_cycles=nsu_cycles,
+            nsu_icache_lines_touched=icache_touched,
+            nsu_icache_lines_total=icache_total,
+            gpu_alu_ops=sum(sm.alu_ops for sm in self.sms),
+            nsu_alu_ops=sum(n.alu_ops for n in self.nsus),
+            extra={
+                "epoch_log": list(self._epoch_log),
+                "final_ratio": getattr(self.decider, "ratio", None),
+            },
+        )
+        return res

@@ -1,0 +1,77 @@
+"""Packet-level message tracing (the paper's Figure 2/6 timelines).
+
+Attach a :class:`MessageTrace` to an :class:`~repro.core.offload.NDPController`
+(``controller.trace = MessageTrace()``) and every NDP message records a
+``(cycle, kind, src, dst, bytes, uid)`` event at *send* time.  ``timeline``
+renders the message sequence of one offload-block instance, which is the
+Figure 6 diagram in text form; the quickstart example prints one.
+
+Tracing is strictly additive: with no trace attached the controller pays a
+single attribute check per message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    cycle: int
+    kind: str        # CMD | RDF | RDF_HIT_RESP | RDF_RESP | WTA | WRITE
+                     # | INV | WRITE_ACK | ACK
+    src: str
+    dst: str
+    size: int
+    uid: tuple | None = None
+    info: str = ""
+
+
+class MessageTrace:
+    """Collects NDP message events; bounded to protect long runs."""
+
+    def __init__(self, max_events: int = 100_000) -> None:
+        self.events: list[TraceEvent] = []
+        self.max_events = max_events
+        self.dropped = 0
+
+    def record(self, cycle: int, kind: str, src: str, dst: str, size: int,
+               uid: tuple | None = None, info: str = "") -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(cycle, kind, src, dst, size, uid,
+                                      info))
+
+    def for_instance(self, uid: tuple) -> list[TraceEvent]:
+        return [e for e in self.events if e.uid == uid]
+
+    def instances(self) -> list[tuple]:
+        seen: dict[tuple, None] = {}
+        for e in self.events:
+            if e.uid is not None:
+                seen.setdefault(e.uid)
+        return list(seen)
+
+    def timeline(self, uid: tuple) -> str:
+        """Figure 6-style rendering of one offload block's messages."""
+        evs = self.for_instance(uid)
+        if not evs:
+            return f"(no events for instance {uid})"
+        t0 = evs[0].cycle
+        lines = [f"offload instance {uid} (t0 = cycle {t0}):"]
+        for e in evs:
+            arrow = f"{e.src:>8s} -> {e.dst:<8s}"
+            extra = f"  {e.info}" if e.info else ""
+            lines.append(f"  +{e.cycle - t0:5d}  {e.kind:<13s} {arrow} "
+                         f"{e.size:4d} B{extra}")
+        return "\n".join(lines)
+
+    def summary(self) -> dict[str, tuple[int, int]]:
+        """kind -> (count, total bytes)."""
+        out: dict[str, list[int]] = {}
+        for e in self.events:
+            c = out.setdefault(e.kind, [0, 0])
+            c[0] += 1
+            c[1] += e.size
+        return {k: (v[0], v[1]) for k, v in out.items()}

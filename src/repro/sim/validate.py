@@ -1,0 +1,94 @@
+"""Post-run consistency auditing.
+
+``audit_system`` inspects a finished :class:`~repro.sim.system.System` and
+its :class:`~repro.sim.results.RunResult` for conservation violations --
+lost packets, leaked buffer entries, unbalanced credits, impossible
+counters.  The integration tests run it after every simulated
+configuration; it is also available to users via
+``run_workload(..., audit=True)``-style wrappers in their own harnesses.
+"""
+
+from __future__ import annotations
+
+from repro.sim.results import RunResult
+
+
+class AuditError(AssertionError):
+    """A conservation invariant failed after a run."""
+
+
+def _check(ok: bool, msg: str, failures: list[str]) -> None:
+    if not ok:
+        failures.append(msg)
+
+
+def audit_system(system, result: RunResult) -> list[str]:
+    """Return a list of invariant violations (empty = clean)."""
+    failures: list[str] = []
+    cfg = system.cfg
+
+    # -- engine drained -------------------------------------------------------
+    _check(system.engine.pending == 0,
+           f"{system.engine.pending} events still pending", failures)
+
+    # -- GPU side -------------------------------------------------------------
+    for sm in system.sms:
+        _check(sm.done, f"SM {sm.sm_id} still has live warps", failures)
+        _check(sm.dep_count == 0,
+               f"SM {sm.sm_id} leaks dep_count={sm.dep_count}", failures)
+        _check(not sm._replays,
+               f"SM {sm.sm_id} leaks load replays", failures)
+    for part, w in enumerate(system.memsys._l2_waiters):
+        _check(not w, f"L2 slice {part} leaks {len(w)} parked requests",
+               failures)
+    for part, m in enumerate(system.memsys.l2_mshr):
+        _check(len(m) == 0, f"L2 slice {part} leaks MSHR entries", failures)
+    for sm_id, m in enumerate(system.memsys.l1_mshr):
+        _check(len(m) == 0, f"L1 {sm_id} leaks MSHR entries", failures)
+
+    # -- NDP side -------------------------------------------------------------
+    if system.ndp is not None:
+        s = system.ndp.stats
+        _check(s.acks == s.offloads,
+               f"ACKs {s.acks} != offloads {s.offloads}", failures)
+        _check(s.invalidations_sent == s.ndp_writes,
+               "one INV per NDP write violated", failures)
+        _check(all(v == 0 for v in system.ndp.wta_inflight),
+               f"in-flight WTA counters leak: {system.ndp.wta_inflight}",
+               failures)
+        _check(all(p == 0 for p in system.ndp.pending),
+               f"SM pending buffers leak: {system.ndp.pending}", failures)
+        try:
+            system.ndp.credits.assert_conserved()
+        except AssertionError as e:
+            failures.append(str(e))
+        for hmc in range(cfg.num_hmcs):
+            got = system.ndp.credits.available(hmc)
+            want = (cfg.nsu.cmd_buffer_entries, cfg.nsu.read_data_entries,
+                    cfg.nsu.write_addr_entries)
+            _check(got == want,
+                   f"HMC {hmc} credits {got} != capacity {want}", failures)
+        for nsu in system.nsus:
+            _check(nsu.idle, f"NSU {nsu.hmc_id} not idle", failures)
+            _check(len(nsu.read_buf) == 0,
+                   f"NSU {nsu.hmc_id} read buffer leaks", failures)
+            _check(len(nsu.wta_buf) == 0,
+                   f"NSU {nsu.hmc_id} WTA buffer leaks", failures)
+            _check(not nsu._wta_arrived and not nsu._wta_expected,
+                   f"NSU {nsu.hmc_id} partial WTA state leaks", failures)
+
+    # -- result-level sanity ----------------------------------------------------
+    _check(result.stalls.total >= 0, "negative stall total", failures)
+    _check(result.l1_hits + result.l1_misses <= result.l1_accesses,
+           "L1 demand accesses exceed total accesses", failures)
+    _check(result.rdf_cache_hits <= result.rdf_packets,
+           "more RDF hits than packets", failures)
+    _check(result.dram_reads % 128 == 0 and result.dram_writes % 128 == 0,
+           "DRAM byte counters not line-aligned", failures)
+    return failures
+
+
+def assert_clean(system, result: RunResult) -> None:
+    failures = audit_system(system, result)
+    if failures:
+        raise AuditError("; ".join(failures))

@@ -1,0 +1,28 @@
+"""The ten evaluated workloads (paper Table 1), as synthetic models.
+
+Each model authors its kernel in the :mod:`repro.isa` IR -- shaped so the
+static analyzer extracts offload blocks with exactly the Table 1 NSU
+instruction counts -- and generates per-warp address traces reproducing the
+workload's memory character (streaming, stencil reuse, indirect divergence,
+hot constant structures, ...).
+"""
+
+from repro.workloads.base import (
+    ArrayLayout,
+    Scale,
+    SCALES,
+    WorkloadInstance,
+    WorkloadModel,
+)
+from repro.workloads.registry import WORKLOADS, get_workload, workload_names
+
+__all__ = [
+    "ArrayLayout",
+    "Scale",
+    "SCALES",
+    "WorkloadInstance",
+    "WorkloadModel",
+    "WORKLOADS",
+    "get_workload",
+    "workload_names",
+]

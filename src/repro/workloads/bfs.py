@@ -1,0 +1,86 @@
+"""BFS -- breadth-first search (Rodinia; Table 1: 1M nodes, blocks 1,1,16).
+
+The canonical divergent workload: the frontier load is regular, but the
+edge and visited gathers are data-dependent and touch up to 32 distinct
+cache lines per warp with one useful word each.  Offloading each gather as
+a single-instruction block (Section 4.4) means only touched words cross
+the chip boundary instead of full 128-byte lines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import WORD_SIZE
+from repro.isa import BasicBlock, Kernel, alu, branch, ld, st
+from repro.workloads.base import ArrayLayout, MemCtx, Scale, WorkloadModel
+from repro.workloads.patterns import indirect_divergent, streaming
+
+
+class BFS(WorkloadModel):
+    name = "BFS"
+    table1_nsu_counts = (1, 1, 16)
+    # Divergent gathers make BFS the most expensive trace to simulate;
+    # fewer frontier iterations keep runs balanced with the other
+    # workloads at every scale.
+    iter_factor = 0.5
+
+    def kernel(self) -> Kernel:
+        gather = BasicBlock([
+            ld(10, 0, "frontier", tag="current node"),
+            alu(11, 10, tag="addr edges[node]"),
+            ld(12, 11, "edges", indirect=True, tag="neighbour gather"),
+            alu(13, 12, tag="addr visited[nbr]"),
+            ld(14, 13, "visited", indirect=True, tag="visited gather"),
+            branch(tag="frontier loop"),
+        ])
+        # The level-update block: reads node metadata and writes the new
+        # frontier/cost -- 6 LD + 9 ALU + 1 ST = 16 NSU instructions.
+        update = BasicBlock([
+            ld(20, 1, "cost"),
+            ld(21, 2, "mask"),
+            ld(22, 3, "adj_a"),
+            ld(23, 4, "adj_b"),
+            ld(24, 5, "adj_c"),
+            ld(25, 6, "adj_d"),
+            alu(30, 20, 14, tag="new cost"),
+            alu(31, 30, 21),
+            alu(32, 31, 22),
+            alu(33, 32, 23),
+            alu(34, 33, 24),
+            alu(35, 34, 25),
+            alu(36, 35, 30),
+            alu(37, 36, 31),
+            alu(38, 37, 32, tag="result"),
+            alu(40, 7, tag="addr new_cost"),
+            st(38, 40, "new_cost"),
+        ])
+        return Kernel("bfs", [gather, update])
+
+    def layout(self, scale: Scale) -> ArrayLayout:
+        a = ArrayLayout()
+        n = scale.num_warps * scale.iters * 32 * WORD_SIZE
+        a.add("frontier", n)
+        a.add("edges", max(1 << 20, 8 * n))
+        a.add("visited", max(1 << 20, 8 * n))
+        for name in ("cost", "mask", "adj_a", "adj_b", "adj_c", "adj_d",
+                     "new_cost"):
+            a.add(name, n)
+        return a
+
+    def mem_addrs(self, instr, arrays: ArrayLayout,
+                  ctx: MemCtx) -> np.ndarray:
+        if instr.array in ("edges", "visited"):
+            return indirect_divergent(arrays, instr.array, ctx)
+        return streaming(arrays, instr.array, ctx)
+
+    def warp_active_mask(self, ctx: MemCtx):
+        # The frontier thins as levels progress: later iterations run
+        # with partially-populated warps (real BFS control divergence).
+        frac = max(0.25, 1.0 - 0.15 * ctx.it)
+        n = max(8, int(round(32 * frac)))
+        if n >= 32:
+            return None
+        mask = np.zeros(32, dtype=bool)
+        mask[:n] = True
+        return mask

@@ -1,0 +1,58 @@
+"""BICG -- BiCGStab sub-kernels (Polybench; Table 1: 6Kx6K, blocks 4,4).
+
+Two matvec passes: ``q = A p`` and ``s = A^T r``.  The matrix rows stream
+(cold), but the p/r vector reads broadcast the same element to every lane
+and hit the GPU caches, so BICG only profits from a *small* offload ratio
+(the paper found +11.5% at ratio 0.15 and losses from 0.2 up).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import WORD_SIZE
+from repro.isa import BasicBlock, Kernel, alu, branch, ld, st
+from repro.workloads.base import ArrayLayout, MemCtx, Scale, WorkloadModel
+from repro.workloads.patterns import broadcast, streaming
+
+
+class BICG(WorkloadModel):
+    name = "BICG"
+    table1_nsu_counts = (4, 4)
+
+    N_VEC = 6 * 1024    # p/r vector length (6K as in Table 1)
+
+    def kernel(self) -> Kernel:
+        pass1 = BasicBlock([
+            ld(4, 0, "A"),
+            ld(5, 1, "p"),
+            alu(6, 4, 5, tag="A*p"),
+            alu(11, 2, tag="addr q"),
+            st(6, 11, "q"),
+            branch(),
+        ])
+        pass2 = BasicBlock([
+            ld(7, 0, "AT"),
+            ld(8, 3, "r"),
+            alu(9, 7, 8, tag="AT*r"),
+            alu(12, 2, tag="addr s"),
+            st(9, 12, "s"),
+        ])
+        return Kernel("bicg", [pass1, pass2])
+
+    def layout(self, scale: Scale) -> ArrayLayout:
+        a = ArrayLayout()
+        n = scale.num_warps * scale.iters * 32 * WORD_SIZE
+        a.add("A", n)
+        a.add("AT", n)
+        a.add("p", self.N_VEC * WORD_SIZE)
+        a.add("r", self.N_VEC * WORD_SIZE)
+        a.add("q", n)
+        a.add("s", n)
+        return a
+
+    def mem_addrs(self, instr, arrays: ArrayLayout,
+                  ctx: MemCtx) -> np.ndarray:
+        if instr.array in ("p", "r"):
+            return broadcast(arrays, instr.array, ctx, self.N_VEC)
+        return streaming(arrays, instr.array, ctx)

@@ -1,0 +1,104 @@
+"""BPROP -- back propagation (Rodinia; Table 1: 512K points, blocks 29,23).
+
+BPROP's defining property (Section 7.1): a 68-byte constant structure
+(17 words) is read inside *every* offload block instance.  In the baseline
+those reads hit the GPU caches and cost nothing off-chip, but under NDP
+every RDF probe that hits must ship the cached words to the NSU over the
+GPU's own links -- so offloading more of BPROP makes it *slower*, and the
+cache-locality filter of Section 7.3 is what rescues it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import WORD_SIZE
+from repro.isa import BasicBlock, Kernel, alu, branch, ld, st, sync
+from repro.workloads.base import ArrayLayout, MemCtx, Scale, WorkloadModel
+from repro.workloads.patterns import hot_struct, streaming
+
+#: The 68-byte constant structure: 17 words.
+CONST_WORDS = 17
+
+
+class BPROP(WorkloadModel):
+    name = "BPROP"
+    table1_nsu_counts = (29, 23)
+    iter_factor = 0.5      # big blocks: fewer loop iterations
+
+    def kernel(self) -> Kernel:
+        # layerforward: 12 LD (3 weight streams + 9 const-struct),
+        # 16 ALU, 1 ST -> 29 NSU instructions.  The streaming weight load
+        # comes first, so the first-access target policy spreads block
+        # instances across the stacks (the shared constant structure
+        # would otherwise aim every block at one NSU).
+        r = iter(range(40, 200))
+        fwd_lds = []
+        fwd_regs = []
+        for i in range(3):
+            reg = next(r)
+            fwd_lds.append(ld(reg, 9 + i, f"w{i}", tag=f"weights{i}"))
+            fwd_regs.append(reg)
+        for i in range(9):
+            reg = next(r)
+            fwd_lds.append(ld(reg, i, "net_unit", tag=f"const{i}"))
+            fwd_regs.append(reg)
+        fwd_alus = []
+        acc = fwd_regs[0]
+        for i in range(16):
+            dst = next(r)
+            fwd_alus.append(alu(dst, acc, fwd_regs[(i + 1) % len(fwd_regs)]))
+            acc = dst
+        addr1 = next(r)
+        fwd = BasicBlock(
+            fwd_lds + fwd_alus
+            + [alu(addr1, 30, tag="addr hidden"), st(acc, addr1, "hidden"),
+               branch()])
+
+        # adjust_weights: 10 LD (2 streams + 8 const), 12 ALU, 1 ST -> 23.
+        adj_lds = []
+        adj_regs = []
+        for i in range(2):
+            reg = next(r)
+            adj_lds.append(ld(reg, 9 + i, f"delta{i}"))
+            adj_regs.append(reg)
+        for i in range(8):
+            reg = next(r)
+            adj_lds.append(ld(reg, i, "net_unit", tag=f"const{i}"))
+            adj_regs.append(reg)
+        adj_alus = []
+        acc2 = adj_regs[0]
+        for i in range(12):
+            dst = next(r)
+            adj_alus.append(alu(dst, acc2, adj_regs[(i + 1) % len(adj_regs)]))
+            acc2 = dst
+        addr2 = next(r)
+        adj = BasicBlock(
+            [sync(tag="layer barrier")] + adj_lds + adj_alus
+            + [alu(addr2, 31, tag="addr w_out"), st(acc2, addr2, "w_out")])
+
+        return Kernel("bprop", [fwd, adj])
+
+    def prologue(self):
+        # Kernel setup reads the 68-byte net structure once per warp (as
+        # the real layerforward kernel does before its loops), which is
+        # what makes later RDF probes to it *hit* in the GPU caches --
+        # the Section 7.1 BPROP re-shipping effect.  The consuming ALU
+        # makes the warp wait for the fill before entering the loop.
+        return [ld(240, 0, "net_unit", tag="setup const0"),
+                alu(241, 240, tag="setup uses the structure")]
+
+    def layout(self, scale: Scale) -> ArrayLayout:
+        a = ArrayLayout()
+        a.add("net_unit", CONST_WORDS * WORD_SIZE)   # the 68B structure
+        n = scale.num_warps * scale.iters * 32 * WORD_SIZE
+        for name in ("w0", "w1", "w2", "delta0", "delta1",
+                     "hidden", "w_out"):
+            a.add(name, n)
+        return a
+
+    def mem_addrs(self, instr, arrays: ArrayLayout,
+                  ctx: MemCtx) -> np.ndarray:
+        if instr.array == "net_unit":
+            return hot_struct(arrays, "net_unit", ctx, CONST_WORDS)
+        return streaming(arrays, instr.array, ctx)

@@ -1,0 +1,69 @@
+"""FWT -- fast Walsh transform (CUDA SDK; Table 1: 2^22 data, blocks 16,4).
+
+Butterfly passes: each block loads paired elements a fixed stride apart
+(both coalesced), combines them, and writes both results back.  Every
+iteration touches a fresh region (the scaled stand-in for the pass
+structure), so the baseline is bandwidth-bound with little cache help.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import WORD_SIZE
+from repro.isa import BasicBlock, Kernel, alu, branch, ld, st
+from repro.workloads.base import ArrayLayout, MemCtx, Scale, WorkloadModel
+from repro.workloads.patterns import streaming
+
+
+class FWT(WorkloadModel):
+    name = "FWT"
+    table1_nsu_counts = (16, 4)
+    iter_factor = 0.75
+
+    #: butterfly partner offset in elements.
+    STRIDE = 1 << 14
+
+    def kernel(self) -> Kernel:
+        # Radix-4 butterfly: 4 LD + 10 ALU + 2 ST = 16 NSU instructions.
+        butterfly = BasicBlock([
+            ld(4, 0, "data"),
+            ld(5, 1, "data_hi"),
+            ld(6, 2, "data_q2"),
+            ld(7, 3, "data_q3"),
+            alu(10, 4, 5), alu(11, 6, 7),
+            alu(12, 4, 5), alu(13, 6, 7),
+            alu(14, 10, 11), alu(15, 12, 13),
+            alu(16, 10, 11), alu(17, 12, 13),
+            alu(18, 14, 16), alu(19, 15, 17),
+            alu(30, 8, tag="addr out lo"),
+            st(18, 30, "out"),
+            alu(31, 9, tag="addr out hi"),
+            st(19, 31, "out_hi"),
+            branch(),
+        ])
+        # Radix-2 cleanup pass: LD, LD, ALU, ST = 4.
+        cleanup = BasicBlock([
+            ld(20, 0, "data"),
+            ld(21, 1, "data_hi"),
+            alu(22, 20, 21),
+            alu(32, 8, tag="addr out"),
+            st(22, 32, "out"),
+        ])
+        return Kernel("fwt", [butterfly, cleanup])
+
+    def layout(self, scale: Scale) -> ArrayLayout:
+        a = ArrayLayout()
+        n = scale.num_warps * scale.iters * 32 * WORD_SIZE
+        for name in ("data", "data_hi", "data_q2", "data_q3",
+                     "out", "out_hi"):
+            a.add(name, n + self.STRIDE * WORD_SIZE)
+        return a
+
+    def mem_addrs(self, instr, arrays: ArrayLayout,
+                  ctx: MemCtx) -> np.ndarray:
+        offset = {"data": 0, "data_hi": self.STRIDE,
+                  "data_q2": 2 * self.STRIDE, "data_q3": 3 * self.STRIDE,
+                  "out": 0, "out_hi": self.STRIDE}[instr.array]
+        return streaming(arrays, instr.array, ctx, offset=offset % (
+            arrays.size(instr.array) // WORD_SIZE))

@@ -1,0 +1,52 @@
+"""KMN -- k-means (Rodinia; Table 1: 28k objects, 138 features, block 3).
+
+Rodinia's CUDA k-means stores features in transposed (feature-major)
+layout so warps read coalesced lines, and its hot phase streams the whole
+15 MB feature matrix every pass while accumulating per-cluster partial
+sums back to memory: a pure streaming read + compute + streaming write
+loop with a reuse distance far beyond any cache.  The offload block is
+LD feature / ADD into partial / ST partial (3 NSU instructions) with no
+register context at all -- which is why KMN is the paper's biggest NDP
+winner (+66.8%): both the read and the write leave the GPU's off-chip
+links entirely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import WORD_SIZE
+from repro.isa import BasicBlock, Kernel, alu, branch, ld, st
+from repro.workloads.base import ArrayLayout, MemCtx, Scale, WorkloadModel
+from repro.workloads.patterns import streaming
+
+
+class KMN(WorkloadModel):
+    name = "KMN"
+    table1_nsu_counts = (3,)
+    # The 138-feature loop makes KMN's kernel long-running relative to
+    # its footprint; more iterations also give Algorithm 1 the epochs it
+    # needs at the scaled-down problem size.
+    iter_factor = 3.0
+
+    def kernel(self) -> Kernel:
+        body = BasicBlock([
+            ld(4, 0, "features", tag="coalesced feature stream"),
+            alu(6, 4, 4, tag="accumulate into partial"),
+            alu(10, 2, tag="addr partial"),
+            st(6, 10, "partials"),
+            branch(tag="feature loop"),
+        ])
+        index = BasicBlock([alu(8, 8, tag="next feature row")])
+        return Kernel("kmn", [body, index])
+
+    def layout(self, scale: Scale) -> ArrayLayout:
+        a = ArrayLayout()
+        n = scale.num_warps * scale.iters * 32 * WORD_SIZE
+        a.add("features", n)
+        a.add("partials", n)
+        return a
+
+    def mem_addrs(self, instr, arrays: ArrayLayout,
+                  ctx: MemCtx) -> np.ndarray:
+        return streaming(arrays, instr.array, ctx)

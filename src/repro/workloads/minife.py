@@ -1,0 +1,48 @@
+"""MiniFE -- finite element mini-app (Mantevo; Table 1: 128x64x64, block 3).
+
+The sparse matvec at MiniFE's heart: the column-index load executes
+normally on the GPU (its value feeds address generation), then the offload
+block streams the matrix value and gathers ``x[col]`` -- a divergent
+indirect load -- multiplying on the NSU and returning the product.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import WORD_SIZE
+from repro.isa import BasicBlock, Kernel, alu, branch, ld
+from repro.workloads.base import ArrayLayout, MemCtx, Scale, WorkloadModel
+from repro.workloads.patterns import indirect_divergent, streaming
+
+
+class MiniFE(WorkloadModel):
+    name = "MiniFE"
+    table1_nsu_counts = (3,)
+
+    def kernel(self) -> Kernel:
+        body = BasicBlock([
+            ld(4, 0, "cols", tag="column indices"),
+            alu(10, 4, tag="addr x[col]"),
+            ld(5, 1, "vals", tag="matrix values"),
+            ld(6, 10, "x", indirect=True, tag="gather x[col]"),
+            alu(7, 5, 6, tag="val * x"),
+            branch(tag="row loop"),
+        ])
+        accum = BasicBlock([alu(8, 8, 7, tag="y += val*x")])
+        return Kernel("minife", [body, accum], live_out=frozenset({8}))
+
+    def layout(self, scale: Scale) -> ArrayLayout:
+        a = ArrayLayout()
+        n = scale.num_warps * scale.iters * 32 * WORD_SIZE
+        a.add("cols", n)
+        a.add("vals", n)
+        # The x vector: large enough that gathers are divergent cold misses.
+        a.add("x", max(1 << 20, n))
+        return a
+
+    def mem_addrs(self, instr, arrays: ArrayLayout,
+                  ctx: MemCtx) -> np.ndarray:
+        if instr.array == "x":
+            return indirect_divergent(arrays, "x", ctx)
+        return streaming(arrays, instr.array, ctx)

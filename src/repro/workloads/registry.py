@@ -1,0 +1,40 @@
+"""Workload registry: name -> model class (Table 1)."""
+
+from __future__ import annotations
+
+from repro.workloads.base import WorkloadModel
+
+
+def _load_all() -> dict[str, type[WorkloadModel]]:
+    from repro.workloads.bprop import BPROP
+    from repro.workloads.bfs import BFS
+    from repro.workloads.bicg import BICG
+    from repro.workloads.fwt import FWT
+    from repro.workloads.kmn import KMN
+    from repro.workloads.minife import MiniFE
+    from repro.workloads.sp import SP
+    from repro.workloads.stn import STN
+    from repro.workloads.stcl import STCL
+    from repro.workloads.vadd import VADD
+
+    models = [BPROP, BFS, BICG, FWT, KMN, MiniFE, SP, STN, STCL, VADD]
+    return {m.name: m for m in models}
+
+
+WORKLOADS: dict[str, type[WorkloadModel]] = _load_all()
+
+
+def get_workload(name: str) -> WorkloadModel:
+    """Instantiate a workload model by its Table 1 abbreviation."""
+    try:
+        return WORKLOADS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+        ) from None
+
+
+def workload_names() -> list[str]:
+    """Table 1 order."""
+    return ["BPROP", "BFS", "BICG", "FWT", "KMN", "MiniFE", "SP", "STN",
+            "STCL", "VADD"]

@@ -1,0 +1,42 @@
+"""SP -- scalar product (CUDA SDK; Table 1: 512 32K-vectors, block size 3).
+
+Two streaming loads and a multiply per element; the product returns to the
+GPU in the ACK packet (the paper's avg 0.47 received registers/thread come
+from blocks like this) and the accumulation stays on the GPU where the
+eventual reduction lives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import WORD_SIZE
+from repro.isa import BasicBlock, Kernel, alu, branch, ld
+from repro.workloads.base import ArrayLayout, MemCtx, Scale, WorkloadModel
+from repro.workloads.patterns import streaming
+
+
+class SP(WorkloadModel):
+    name = "SP"
+    table1_nsu_counts = (3,)
+
+    def kernel(self) -> Kernel:
+        body = BasicBlock([
+            ld(4, 0, "A"),
+            ld(5, 1, "B"),
+            alu(6, 4, 5, tag="mul"),
+            branch(tag="loop"),
+        ])
+        accum = BasicBlock([alu(7, 7, 6, tag="acc += p")])
+        return Kernel("sp", [body, accum], live_out=frozenset({7}))
+
+    def layout(self, scale: Scale) -> ArrayLayout:
+        a = ArrayLayout()
+        n = scale.num_warps * scale.iters * 32 * WORD_SIZE
+        a.add("A", n)
+        a.add("B", n)
+        return a
+
+    def mem_addrs(self, instr, arrays: ArrayLayout,
+                  ctx: MemCtx) -> np.ndarray:
+        return streaming(arrays, instr.array, ctx)

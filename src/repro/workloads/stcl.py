@@ -1,0 +1,78 @@
+"""STCL -- streamcluster (Rodinia; Table 1: 16k pts/block, blocks 3,9,1,1).
+
+Distance evaluations over a working set of points small enough to live in
+the GPU caches (per-block points are re-read constantly), plus two
+divergent gathers through the assignment and weight tables.  The cached
+point reads make the main blocks cache-sensitive like STN; the gathers are
+classic Section 4.4 single-instruction indirect offloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import WORD_SIZE
+from repro.isa import BasicBlock, Kernel, alu, branch, ld, st
+from repro.workloads.base import ArrayLayout, MemCtx, Scale, WorkloadModel
+from repro.workloads.patterns import blocked_reuse, indirect_divergent, streaming
+
+
+class STCL(WorkloadModel):
+    name = "STCL"
+    table1_nsu_counts = (3, 9, 1, 1)
+    iter_factor = 0.67
+
+    #: elements in the resident point block (fits comfortably in L2).
+    POINT_BLOCK = 16 * 1024
+
+    def kernel(self) -> Kernel:
+        dist = BasicBlock([
+            ld(4, 0, "points"),
+            ld(5, 1, "center_coords"),
+            alu(6, 4, 5, tag="d += (x-c)^2"),
+            branch(),
+        ])
+        gain = BasicBlock([
+            ld(10, 0, "points"),
+            ld(11, 1, "costs"),
+            ld(12, 2, "points"),
+            alu(13, 10, 11), alu(14, 13, 12), alu(15, 14, 6),
+            alu(16, 15, 13), alu(17, 16, 14),
+            alu(30, 3, tag="addr gain"),
+            st(17, 30, "gain"),
+            branch(),
+        ])
+        assign_gather = BasicBlock([
+            ld(20, 40, "assign"),
+            alu(21, 20, tag="addr center[assign]"),
+            ld(22, 21, "center_table", indirect=True),
+            branch(),
+        ])
+        weight_gather = BasicBlock([
+            alu(23, 22, tag="addr weight[center]"),
+            ld(24, 23, "weights", indirect=True),
+            alu(25, 24, 17, tag="weighted gain"),
+        ])
+        return Kernel("stcl", [dist, gain, assign_gather, weight_gather],
+                      live_out=frozenset({25}))
+
+    def layout(self, scale: Scale) -> ArrayLayout:
+        a = ArrayLayout()
+        n = scale.num_warps * scale.iters * 32 * WORD_SIZE
+        a.add("points", self.POINT_BLOCK * WORD_SIZE)
+        a.add("center_coords", self.POINT_BLOCK * WORD_SIZE)
+        a.add("costs", self.POINT_BLOCK * WORD_SIZE)
+        a.add("gain", n)
+        a.add("assign", n)
+        a.add("center_table", max(1 << 20, 4 * n))
+        a.add("weights", max(1 << 20, 4 * n))
+        return a
+
+    def mem_addrs(self, instr, arrays: ArrayLayout,
+                  ctx: MemCtx) -> np.ndarray:
+        name = instr.array
+        if name in ("center_table", "weights"):
+            return indirect_divergent(arrays, name, ctx)
+        if name in ("points", "center_coords", "costs"):
+            return blocked_reuse(arrays, name, ctx, self.POINT_BLOCK)
+        return streaming(arrays, name, ctx)

@@ -1,0 +1,61 @@
+"""STN -- 3D stencil (Parboil; Table 1: 512x512x64 grid, block 15).
+
+Seven-point stencil: the neighbour loads of adjacent warps/iterations
+overlap heavily, giving the baseline the ~45% L2 read hit rate the paper
+measures -- which is exactly why NDP *hurts* STN (hit data gets re-shipped
+to the NSU and DRAM accesses increase) until the cache-locality-aware
+filter suppresses its blocks (Section 7.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import WORD_SIZE
+from repro.isa import BasicBlock, Kernel, alu, branch, ld, st
+from repro.workloads.base import ArrayLayout, MemCtx, Scale, WorkloadModel
+from repro.workloads.patterns import stencil_3x3, streaming
+
+
+class STN(WorkloadModel):
+    name = "STN"
+    table1_nsu_counts = (15,)
+
+    #: distance (in elements) to the +-y neighbours: a couple of warp
+    #: chunks away so the neighbour lines belong to concurrently-resident
+    #: warps and hit in the L2.
+    ROW_WORDS = 64
+
+    #: 7-point neighbourhood offsets (in elements).
+    OFFSETS = (0, -1, +1, -ROW_WORDS, +ROW_WORDS,
+               -ROW_WORDS - 1, +ROW_WORDS + 1)
+
+    def kernel(self) -> Kernel:
+        lds = [ld(10 + i, i, "grid", tag=f"n{i}")
+               for i in range(len(self.OFFSETS))]
+        acc = 10
+        alus = []
+        for i in range(7):
+            dst = 20 + i
+            alus.append(alu(dst, acc, 10 + (i % 7)))
+            acc = dst
+        body = BasicBlock(lds + alus + [
+            alu(30, 8, tag="addr out"),
+            st(acc, 30, "out"),
+            branch(),
+        ])
+        return Kernel("stn", [body])
+
+    def layout(self, scale: Scale) -> ArrayLayout:
+        a = ArrayLayout()
+        n = scale.num_warps * scale.iters * 32 * WORD_SIZE
+        a.add("grid", n + 4 * self.ROW_WORDS * WORD_SIZE)
+        a.add("out", n)
+        return a
+
+    def mem_addrs(self, instr, arrays: ArrayLayout,
+                  ctx: MemCtx) -> np.ndarray:
+        if instr.array == "out":
+            return streaming(arrays, "out", ctx)
+        off = self.OFFSETS[int(instr.tag[1:])] if instr.tag else 0
+        return stencil_3x3(arrays, "grid", ctx, off, self.ROW_WORDS)

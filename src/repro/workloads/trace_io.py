@@ -1,0 +1,119 @@
+"""Save and load built workload instances (trace files).
+
+A :class:`~repro.workloads.base.WorkloadInstance` fully determines a
+simulation's inputs: the kernel (serialized through the assembly format),
+the extracted offload blocks (re-derived by the analyzer on load, so the
+file stays honest), and every warp's dynamic items with their coalesced
+accesses.  Trace files let users
+
+* archive the exact inputs behind published numbers,
+* hand-edit or synthesize traces outside the workload models,
+* feed traces captured from real-GPU profilers into the simulator.
+
+Format: a single JSON document (compressible by the caller).  Coalesced
+accesses are stored as ``[line_addr, words, irregular]`` triples.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.gpu.coalescer import MemAccess
+from repro.gpu.trace import DynBlock, DynInstr
+from repro.isa.analyzer import analyze_kernel
+from repro.isa.asm import assemble, disassemble
+from repro.workloads.base import Scale, WorkloadInstance
+
+FORMAT_VERSION = 1
+
+
+def _acc_out(a: MemAccess) -> list:
+    return [a.line_addr, a.words, 1 if a.irregular else 0]
+
+
+def _acc_in(v: list) -> MemAccess:
+    return MemAccess(int(v[0]), int(v[1]), bool(v[2]))
+
+
+def save_instance(instance: WorkloadInstance, path: str) -> None:
+    """Serialize a built workload instance to a JSON trace file."""
+    kernel = instance.analyzed.kernel
+    # Map each instruction object to its position so items can refer to it.
+    positions: dict[int, tuple[int, int]] = {}
+    for b_idx, bb in enumerate(kernel.blocks):
+        for i_idx, ins in enumerate(bb.instrs):
+            positions[id(ins)] = (b_idx, i_idx)
+
+    warps = []
+    for trace in instance.traces:
+        items = []
+        for item in trace:
+            if isinstance(item, DynBlock):
+                items.append({
+                    "t": "b",
+                    "id": item.block.block_id,
+                    "act": item.active_threads,
+                    "mem": [[_acc_out(a) for a in g]
+                            for g in item.mem_accesses],
+                })
+            else:
+                b_idx, i_idx = positions[id(item.instr)]
+                items.append({
+                    "t": "i",
+                    "pos": [b_idx, i_idx],
+                    "mem": [_acc_out(a) for a in item.accesses],
+                })
+        warps.append(items)
+
+    doc = {
+        "format": FORMAT_VERSION,
+        "name": instance.name,
+        "scale": {"name": instance.scale.name,
+                  "num_warps": instance.scale.num_warps,
+                  "iters": instance.scale.iters},
+        "kernel_asm": disassemble(kernel),
+        "warps": warps,
+    }
+    with open(path, "w") as f:
+        json.dump(doc, f)
+
+
+def load_instance(path: str,
+                  max_mem_per_block: int = 64) -> WorkloadInstance:
+    """Load a trace file back into a runnable workload instance.
+
+    The kernel is re-assembled and re-analyzed, so the offload blocks are
+    derived from the kernel text (not trusted from the file); items are
+    validated against the analysis.
+    """
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format {doc.get('format')!r}")
+    kernel = assemble(doc["kernel_asm"])
+    analyzed = analyze_kernel(kernel, max_mem_per_block)
+    blocks_by_id = {b.block_id: b for b in analyzed.blocks}
+
+    traces = []
+    for items in doc["warps"]:
+        trace = []
+        for item in items:
+            if item["t"] == "b":
+                blk = blocks_by_id.get(item["id"])
+                if blk is None:
+                    raise ValueError(
+                        f"trace references offload block {item['id']} "
+                        "not present in the kernel")
+                groups = tuple(tuple(_acc_in(a) for a in g)
+                               for g in item["mem"])
+                trace.append(DynBlock(blk, groups, int(item["act"])))
+            else:
+                b_idx, i_idx = item["pos"]
+                instr = kernel.blocks[b_idx].instrs[i_idx]
+                accesses = tuple(_acc_in(a) for a in item["mem"])
+                trace.append(DynInstr(instr, accesses))
+        traces.append(trace)
+
+    s = doc["scale"]
+    return WorkloadInstance(doc["name"], analyzed, traces,
+                            Scale(s["name"], s["num_warps"], s["iters"]))

@@ -1,0 +1,105 @@
+"""Tests for the analysis/experiment harness (fast paths + a CI-scale
+smoke of the simulation-backed figures)."""
+
+import math
+
+import pytest
+
+from repro.analysis.figures import (
+    ExperimentRunner,
+    coherence_overhead,
+    figure5,
+    figure7,
+    figure11,
+    geomean,
+)
+from repro.analysis.tables import (
+    format_table,
+    hardware_overhead,
+    table1,
+    table2,
+)
+from repro.config import ci_config
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(geomean([]))
+
+
+class TestTables:
+    def test_table1_rows(self):
+        rows = table1()
+        assert len(rows) == 10
+        assert rows[0]["Abbr."] == "BPROP"
+        assert all("# of instr. in offload blocks" in r for r in rows)
+
+    def test_table2_rows(self):
+        rows = table2()
+        params = {r["Parameter"] for r in rows}
+        assert {"# of SMs", "# of HMCs", "NSU", "DRAM timing"} <= params
+
+    def test_hardware_overhead_values(self):
+        hw = hardware_overhead()
+        assert hw["per_sm_bytes"] == 2912
+        assert 0.01 < hw["overhead_fraction"] < 0.03
+
+    def test_format_table_alignment(self):
+        text = format_table([{"a": 1, "bb": "xy"}, {"a": 22, "bb": "z"}],
+                            "T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len(set(len(l) for l in lines[1:])) == 1
+
+
+class TestFigure5:
+    def test_small_study_shapes(self):
+        d = figure5(trials=500)
+        assert len(d["n_accesses"]) == 64
+        assert d["ratio"].max() < 1.3
+
+
+class TestRunnerCaching:
+    def test_result_cached(self):
+        r = ExperimentRunner(base=ci_config(), scale="ci",
+                             workloads=["VADD"])
+        a = r.result("VADD", "Baseline")
+        b = r.result("VADD", "Baseline")
+        assert a is b
+
+    def test_speedup_self_is_one(self):
+        r = ExperimentRunner(base=ci_config(), scale="ci",
+                             workloads=["VADD"])
+        assert r.speedup("VADD", "Baseline") == pytest.approx(1.0)
+
+
+class TestSimulationBackedFigures:
+    """CI-scale smoke over a two-workload subset."""
+
+    @pytest.fixture(scope="class")
+    def runner(self):
+        return ExperimentRunner(base=ci_config(), scale="ci",
+                                workloads=["VADD", "KMN"])
+
+    def test_figure7_structure(self, runner):
+        d = figure7(runner)
+        assert set(d) == {"VADD", "KMN", "GMEAN"}
+        for row in d.values():
+            assert set(row) == {"Baseline", "Baseline_MoreCore", "NaiveNDP"}
+            assert row["Baseline"] == pytest.approx(1.0)
+
+    def test_figure11_structure(self, runner):
+        d = figure11(runner)
+        for w in ("VADD", "KMN", "AVG"):
+            assert 0.0 <= d[w]["icache_utilization"] <= 1.0
+            assert 0.0 <= d[w]["warp_occupancy"] <= 1.0
+
+    def test_coherence_overhead_structure(self, runner):
+        d = coherence_overhead(runner)
+        assert 0.0 <= d["AVG"] <= 1.0

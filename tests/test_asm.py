@@ -1,0 +1,135 @@
+"""Tests for the assembly front-end (repro.isa.asm)."""
+
+import pytest
+
+from repro.isa import Opcode, analyze_kernel
+from repro.isa.asm import AsmError, SFU_OPS, assemble, disassemble
+
+VADD = """
+.kernel vadd
+.block body
+    ld   r4, [A + r0]
+    ld   r5, [B + r1]
+    add  r6, r4, r5
+    add  r10, r2, r3
+    st   [C + r10], r6
+"""
+
+
+class TestAssemble:
+    def test_vadd_structure(self):
+        k = assemble(VADD)
+        assert k.name == "vadd"
+        assert len(k.blocks) == 1
+        ops = [i.op for i in k.blocks[0]]
+        assert ops == [Opcode.LD, Opcode.LD, Opcode.ALU, Opcode.ALU,
+                       Opcode.ST]
+
+    def test_vadd_analyzes_like_handwritten(self):
+        ak = analyze_kernel(assemble(VADD))
+        assert ak.nsu_body_lengths == [4]
+
+    def test_indirect_and_dtype_suffixes(self):
+        k = assemble(""".kernel k
+.block b
+    ld.ind r5, [B + r4]
+    ld.b8  r6, [C + r1]
+""")
+        a, b = k.blocks[0].instrs
+        assert a.indirect and a.dtype_bytes == 4
+        assert not b.indirect and b.dtype_bytes == 8
+
+    def test_sfu_mnemonics(self):
+        for m in SFU_OPS:
+            k = assemble(f".kernel k\n.block b\n    {m} r1, r0\n")
+            assert k.blocks[0].instrs[0].op is Opcode.SFU
+
+    def test_generic_alu_keeps_tag(self):
+        k = assemble(".kernel k\n.block b\n    fma r3, r1, r2, r0\n")
+        i = k.blocks[0].instrs[0]
+        assert i.op is Opcode.ALU
+        assert i.tag == "fma"
+        assert i.srcs == (1, 2, 0)
+
+    def test_shared_memory_and_sync(self):
+        k = assemble(""".kernel k
+.block b
+    shld r1, r0
+    shst r1, r2
+    sync
+""")
+        ops = [i.op for i in k.blocks[0]]
+        assert ops == [Opcode.SHMEM_LD, Opcode.SHMEM_ST, Opcode.SYNC]
+
+    def test_branch_terminal(self):
+        k = assemble(".kernel k\n.block b\n    add r1, r0\n    bra r1\n")
+        assert k.blocks[0].instrs[-1].op is Opcode.BRANCH
+
+    def test_live_out_directive(self):
+        k = assemble(".kernel k\n.live_out r7 r9\n.block b\n    add r7, r0\n")
+        assert k.live_out == {7, 9}
+
+    def test_comments_and_blank_lines(self):
+        k = assemble("""
+# header comment
+.kernel k
+.block b
+    add r1, r0   # trailing comment
+
+""")
+        assert len(k.blocks[0]) == 1
+
+    def test_multiple_blocks(self):
+        k = assemble(""".kernel k
+.block first
+    add r1, r0
+.block second
+    add r2, r1
+""")
+        assert [b.label for b in k.blocks] == ["first", "second"]
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad, msg", [
+        ("", "empty"),
+        (".kernel\n", ".kernel"),
+        (".kernel k\n.block b\n    ld r4\n", "ld needs"),
+        (".kernel k\n.block b\n    ld r4, [A - r0]\n", "array"),
+        (".kernel k\n.block b\n    st [A + r0]\n", "st needs"),
+        (".kernel k\n.block b\n    add x1, r0\n", "register"),
+        (".kernel k\n.block b\n    bra r1, r2\n", "at most one"),
+        (".kernel k\n.weird\n.block b\n    add r1, r0\n", "directive"),
+    ])
+    def test_parse_errors(self, bad, msg):
+        with pytest.raises(AsmError) as e:
+            assemble(bad)
+        assert msg.lower() in str(e.value).lower()
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AsmError) as e:
+            assemble(".kernel k\n.block b\n    ld r4\n")
+        assert e.value.lineno == 3
+
+
+class TestRoundTrip:
+    def test_vadd_round_trip(self):
+        k1 = assemble(VADD)
+        text = disassemble(k1)
+        k2 = assemble(text)
+        assert disassemble(k2) == text
+        assert [i.op for i in k1.all_instrs()] == \
+            [i.op for i in k2.all_instrs()]
+
+    def test_workload_kernels_round_trip(self):
+        from repro.workloads import get_workload, workload_names
+
+        for name in workload_names():
+            k1 = get_workload(name).kernel()
+            k2 = assemble(disassemble(k1))
+            assert k1.num_instrs == k2.num_instrs, name
+            assert [i.op for i in k1.all_instrs()] == \
+                [i.op for i in k2.all_instrs()], name
+            # The analyzer must extract identical blocks either way.
+            a1 = analyze_kernel(k1)
+            a2 = analyze_kernel(k2)
+            assert a1.nsu_body_lengths == a2.nsu_body_lengths, name

@@ -1,0 +1,94 @@
+"""Tests for the command-line interface and ASCII plot helpers."""
+
+import pytest
+
+from repro.analysis.plots import bar_chart, grouped_bar_chart, hbar, line_plot
+from repro.cli import build_parser, main
+
+
+class TestPlots:
+    def test_hbar_scales(self):
+        assert hbar(5, 10, width=10) == "#####"
+        assert hbar(10, 10, width=10) == "#" * 10
+        assert hbar(20, 10, width=10) == "#" * 10   # clamped
+
+    def test_hbar_zero_max(self):
+        assert hbar(5, 0) == ""
+
+    def test_bar_chart_contains_labels_and_values(self):
+        text = bar_chart({"a": 1.0, "bb": 2.0}, title="T")
+        assert text.startswith("T")
+        assert "a " in text and "bb" in text
+        assert "2.00" in text
+
+    def test_bar_chart_baseline_tick(self):
+        text = bar_chart({"x": 2.0}, baseline=1.0, width=10)
+        assert "|" in text
+
+    def test_grouped_bar_chart(self):
+        text = grouped_bar_chart({"g": {"a": 1.0}}, title="T")
+        assert "g:" in text and "a" in text
+
+    def test_line_plot_axes(self):
+        text = line_plot([1, 2, 3], {"s": [1.0, 2.0, 3.0]})
+        assert "+" in text and "*" in text
+        assert "s" in text.splitlines()[-1]
+
+
+class TestParser:
+    def test_all_commands_present(self):
+        p = build_parser()
+        for cmd in (["list"], ["run", "VADD", "Baseline"],
+                    ["sweep", "KMN"], ["table", "1"], ["figure", "5"],
+                    ["overhead"]):
+            args = p.parse_args(cmd)
+            assert callable(args.fn)
+
+    def test_scale_choices(self):
+        p = build_parser()
+        with pytest.raises(SystemExit):
+            p.parse_args(["--scale", "huge", "list"])
+
+    def test_overrides_parsed(self):
+        p = build_parser()
+        a = p.parse_args(["--sms", "128", "--nsu-mhz", "175",
+                          "--ro-cache", "4096",
+                          "--target-policy", "optimal", "list"])
+        assert a.sms == 128
+        assert a.nsu_mhz == 175.0
+        assert a.ro_cache == 4096
+        assert a.target_policy == "optimal"
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "VADD" in out and "NDP(Dyn)_Cache" in out
+
+    def test_table1(self, capsys):
+        assert main(["table", "1"]) == 0
+        assert "29,23" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(["table", "2"]) == 0
+        assert "64 SMs" in capsys.readouterr().out
+
+    def test_table_bad_number(self):
+        assert main(["table", "9"]) == 2
+
+    def test_overhead(self, capsys):
+        assert main(["overhead"]) == 0
+        assert "2.84 KB" in capsys.readouterr().out
+
+    def test_figure5(self, capsys):
+        assert main(["figure", "5"]) == 0
+        assert "Figure 5" in capsys.readouterr().out
+
+    def test_figure_bad_number(self):
+        assert main(["--scale", "ci", "figure", "99"]) == 2
+
+    def test_run_command_ci(self, capsys):
+        assert main(["--scale", "ci", "run", "VADD", "Baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out and "energy" in out

@@ -1,0 +1,131 @@
+"""Unit tests for invalidation coherence and the page-migration guard
+(Sections 4.2 and 4.1.1)."""
+
+import pytest
+
+from repro.config import ci_config
+from repro.core.coherence import PageMigrationGuard
+from repro.sim.engine import Engine
+from repro.sim.runner import make_config
+from repro.sim.system import System
+from repro.workloads import get_workload
+
+
+class FakeController:
+    """Controller stub exposing only the WTA-drain interface."""
+
+    def __init__(self, inflight):
+        self.inflight = dict(inflight)
+        self._waiters = {}
+
+    def can_swap_page_now(self, hmc):
+        return self.inflight.get(hmc, 0) == 0
+
+    def wait_for_wta_drain(self, hmc, cb):
+        if self.can_swap_page_now(hmc):
+            cb()
+        else:
+            self._waiters.setdefault(hmc, []).append(cb)
+
+    def drain(self, hmc):
+        self.inflight[hmc] = 0
+        for cb in self._waiters.pop(hmc, []):
+            cb()
+
+
+class TestPageMigrationGuard:
+    def test_swap_without_inflight_waits_only_for_fetch(self):
+        e = Engine()
+        guard = PageMigrationGuard(e, FakeController({0: 0}))
+        ready = []
+        guard.swap_in_page(0, lambda: ready.append(e.now),
+                           fetch_latency=100)
+        e.drain()
+        assert ready == [100]
+        assert guard.stalled_swaps == 0
+
+    def test_swap_blocks_until_wta_drain(self):
+        e = Engine()
+        ctrl = FakeController({1: 3})
+        guard = PageMigrationGuard(e, ctrl)
+        ready = []
+        guard.swap_in_page(1, lambda: ready.append(e.now),
+                           fetch_latency=50)
+        e.drain()
+        assert ready == []            # still waiting on WTA drain
+        assert guard.stalled_swaps == 1
+        ctrl.drain(1)
+        assert ready == [e.now]
+
+    def test_drain_hidden_under_fetch(self):
+        # If the WTA packets drain before the external fetch finishes,
+        # the swap costs nothing extra (the paper's overlap argument).
+        e = Engine()
+        ctrl = FakeController({2: 1})
+        guard = PageMigrationGuard(e, ctrl)
+        ready = []
+        guard.swap_in_page(2, lambda: ready.append(e.now),
+                           fetch_latency=500)
+        e.at(10, lambda: ctrl.drain(2))
+        e.drain()
+        assert ready == [500]
+
+    def test_other_stacks_unaffected(self):
+        e = Engine()
+        ctrl = FakeController({0: 5, 1: 0})
+        guard = PageMigrationGuard(e, ctrl)
+        ready = []
+        guard.swap_in_page(1, lambda: ready.append("ok"), fetch_latency=1)
+        e.drain()
+        assert ready == ["ok"]
+
+
+class TestInvalidationEndToEnd:
+    def test_ndp_writes_invalidate_cached_lines(self):
+        # Run an NDP workload; every line written by an NSU must not
+        # remain valid in any GPU cache at the end.
+        cfg = make_config("NaiveNDP", ci_config())
+        system = System(cfg, config_name="NaiveNDP")
+        inst = get_workload("VADD").build(cfg, "ci")
+        system.set_code_layout(inst.blocks)
+        system.load_workload(inst.name, inst.traces)
+
+        written = set()
+        orig = system.ndp.ndp_write
+
+        def spy(nsu, warp, acc):
+            written.add(acc.line_addr)
+            orig(nsu, warp, acc)
+
+        system.ndp.ndp_write = spy
+        system.run()
+        assert written
+        for line in written:
+            part = system.amap.hmc_of(line * 128)
+            assert not system.memsys.l2[part].contains(line)
+            for l1 in system.memsys.l1:
+                assert not l1.contains(line)
+
+    def test_invalidation_counters_consistent(self):
+        cfg = make_config("NaiveNDP", ci_config())
+        system = System(cfg, config_name="NaiveNDP")
+        inst = get_workload("VADD").build(cfg, "ci")
+        system.set_code_layout(inst.blocks)
+        system.load_workload(inst.name, inst.traces)
+        system.run()
+        s = system.ndp.stats
+        assert s.invalidations_sent == s.ndp_writes
+        assert system.memsys.invalidation_bytes == 16 * s.invalidations_sent
+
+    def test_guard_with_real_controller(self):
+        cfg = make_config("NaiveNDP", ci_config())
+        system = System(cfg, config_name="NaiveNDP")
+        inst = get_workload("VADD").build(cfg, "ci")
+        system.set_code_layout(inst.blocks)
+        system.load_workload(inst.name, inst.traces)
+        guard = PageMigrationGuard(system.engine, system.ndp)
+        ready = []
+        guard.swap_in_page(0, lambda: ready.append(system.engine.now),
+                           fetch_latency=10)
+        system.run()
+        assert len(ready) == 1   # drained during the run

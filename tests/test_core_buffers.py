@@ -1,0 +1,104 @@
+"""Unit tests for the NSU read-data and write-address buffers."""
+
+import pytest
+
+from repro.core.buffers import ReadDataBuffer, WriteAddressBuffer
+from repro.gpu.coalescer import MemAccess
+
+
+KEY = (("uid",), 0)
+
+
+class TestReadDataBuffer:
+    def test_complete_after_all_words(self):
+        b = ReadDataBuffer(4)
+        b.expect(KEY, 64)
+        assert not b.is_complete(KEY)
+        assert not b.deliver(KEY, 32)
+        assert b.deliver(KEY, 32)
+        assert b.is_complete(KEY)
+
+    def test_delivery_before_expectation(self):
+        # A cache-hit RDF response can race ahead; completion is only
+        # declared once the expectation (total word count) is known.
+        b = ReadDataBuffer(4)
+        assert not b.deliver(KEY, 8)
+        b2 = (KEY[0], 1)
+        b.expect(KEY, 8)
+        assert b.is_complete(KEY)
+
+    def test_consume_frees_entry(self):
+        b = ReadDataBuffer(1)
+        b.expect(KEY, 4)
+        b.deliver(KEY, 4)
+        e = b.consume(KEY)
+        assert e.arrived_packets == 1
+        assert len(b) == 0
+        # capacity is available again
+        b.expect((("uid",), 1), 4)
+
+    def test_consume_incomplete_raises(self):
+        b = ReadDataBuffer(4)
+        b.expect(KEY, 4)
+        with pytest.raises(AssertionError):
+            b.consume(KEY)
+
+    def test_overflow_raises(self):
+        b = ReadDataBuffer(1)
+        b.expect(KEY, 4)
+        with pytest.raises(AssertionError):
+            b.expect((("uid",), 1), 4)
+
+    def test_duplicate_expectation_raises(self):
+        b = ReadDataBuffer(2)
+        b.expect(KEY, 4)
+        with pytest.raises(AssertionError):
+            b.expect(KEY, 8)
+
+    def test_multiple_packets_merge(self):
+        # Divergent load: 4 RDF responses with a few words each merge into
+        # one read-data entry (Section 4.1.2).
+        b = ReadDataBuffer(4)
+        b.expect(KEY, 10)
+        for words in (3, 3, 3, 1):
+            b.deliver(KEY, words)
+        e = b.consume(KEY)
+        assert e.arrived_packets == 4
+        assert e.arrived_words == 10
+
+
+def acc(line):
+    return MemAccess(line, 4, False)
+
+
+class TestWriteAddressBuffer:
+    def test_deliver_and_consume(self):
+        b = WriteAddressBuffer(2)
+        b.deliver(KEY, (acc(1), acc(2)))
+        assert b.has(KEY)
+        got = b.consume(KEY)
+        assert [a.line_addr for a in got] == [1, 2]
+        assert not b.has(KEY)
+
+    def test_overflow_raises(self):
+        b = WriteAddressBuffer(1)
+        b.deliver(KEY, (acc(1),))
+        with pytest.raises(AssertionError):
+            b.deliver((KEY[0], 1), (acc(2),))
+
+    def test_duplicate_raises(self):
+        b = WriteAddressBuffer(2)
+        b.deliver(KEY, (acc(1),))
+        with pytest.raises(AssertionError):
+            b.deliver(KEY, (acc(1),))
+
+    def test_consume_missing_raises(self):
+        b = WriteAddressBuffer(2)
+        with pytest.raises(AssertionError):
+            b.consume(KEY)
+
+    def test_peak_tracking(self):
+        b = WriteAddressBuffer(4)
+        for i in range(3):
+            b.deliver((KEY[0], i), (acc(i),))
+        assert b.peak == 3

@@ -1,0 +1,194 @@
+"""Unit tests for the offload decision policies (Sections 6, 7.1-7.3)."""
+
+import pytest
+
+from repro.config import NDPConfig, OffloadMode
+from repro.core.decision import (
+    AlwaysOffload,
+    CacheLocalityTracker,
+    DynamicDecider,
+    HillClimbingController,
+    NeverOffload,
+    StaticRatioDecider,
+    make_decider,
+)
+from repro.isa import BasicBlock, Kernel, alu, analyze_kernel, ld, st
+
+
+def sample_block():
+    k = Kernel("k", [BasicBlock([
+        ld(4, 0, "A"), ld(5, 1, "B"), alu(6, 4, 5), st(6, 2, "C"),
+    ])])
+    return analyze_kernel(k).blocks[0]
+
+
+class FakeDynBlock:
+    def __init__(self, block):
+        self.block = block
+
+
+class TestBasicDeciders:
+    def test_never(self):
+        assert not NeverOffload().decide(0, None)
+
+    def test_always(self):
+        assert AlwaysOffload().decide(0, None)
+
+    def test_static_extremes(self):
+        assert StaticRatioDecider(1.0).decide(0, None)
+        assert not StaticRatioDecider(0.0).decide(0, None)
+
+    def test_static_ratio_statistics(self):
+        d = StaticRatioDecider(0.3, seed=2)
+        n = sum(d.decide(0, None) for _ in range(10_000))
+        assert 0.27 <= n / 10_000 <= 0.33
+
+    def test_static_validates_range(self):
+        with pytest.raises(ValueError):
+            StaticRatioDecider(1.5)
+
+    def test_factory(self):
+        assert isinstance(make_decider(NDPConfig(mode=OffloadMode.OFF)),
+                          NeverOffload)
+        assert isinstance(make_decider(NDPConfig(mode=OffloadMode.NAIVE)),
+                          AlwaysOffload)
+        d = make_decider(NDPConfig(mode=OffloadMode.STATIC, static_ratio=0.4))
+        assert isinstance(d, StaticRatioDecider) and d.ratio == 0.4
+        assert isinstance(make_decider(NDPConfig(mode=OffloadMode.DYNAMIC)),
+                          DynamicDecider)
+        dc = make_decider(NDPConfig(mode=OffloadMode.DYNAMIC_CACHE))
+        assert isinstance(dc, DynamicDecider) and dc.cache_aware
+
+
+class TestHillClimbing:
+    def cfg(self):
+        return NDPConfig(mode=OffloadMode.DYNAMIC)
+
+    def test_first_epoch_keeps_ratio(self):
+        c = HillClimbingController(self.cfg())
+        r0 = c.ratio
+        c.end_epoch(1.0)
+        assert c.ratio == r0
+
+    def test_warmup_epochs_ignored(self):
+        # The first (warmup) epoch's IPC blends cold caches and warp
+        # launch; it must not feed a comparison.
+        c = HillClimbingController(self.cfg())
+        c.end_epoch(100.0)          # warmup, discarded
+        c.end_epoch(1.0)            # first recorded sample
+        assert c.direction == +1    # no "got worse" flip from warmup
+        c.end_epoch(0.5)
+        assert c.direction == -1
+
+    def test_climbs_towards_optimum(self):
+        # Concave performance curve with optimum at 0.6.
+        c = HillClimbingController(self.cfg())
+        perf = lambda r: 1.0 - (r - 0.6) ** 2
+        for _ in range(60):
+            c.end_epoch(perf(c.ratio))
+        assert abs(c.ratio - 0.6) <= 0.2
+
+    def test_reverses_direction_on_decline(self):
+        c = HillClimbingController(self.cfg())
+        c.end_epoch(1.0)   # warmup
+        c.end_epoch(1.0)
+        d0 = c.direction
+        c.end_epoch(0.5)   # got worse -> reverse
+        assert c.direction == -d0
+
+    def test_step_shrinks_under_oscillation(self):
+        c = HillClimbingController(self.cfg())
+        # Monotonically declining IPC: every epoch is worse than the last,
+        # so the direction flips every epoch -- sustained oscillation.
+        # Algorithm 1 shrinks the step to its minimum; note the published
+        # else-branch regrows it by one unit the epoch after hitting the
+        # floor, so the step then bounces between min and min+unit.
+        steps = []
+        for v in (1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3):
+            c.end_epoch(v)
+            steps.append(c.step)
+        assert min(steps) == pytest.approx(c.cfg.step_min)
+        assert steps[-1] <= c.cfg.step_min + c.cfg.step_unit + 1e-9
+        assert max(steps[4:]) < c.cfg.step_max
+
+    def test_step_grows_when_climbing(self):
+        c = HillClimbingController(self.cfg())
+        c.step = c.cfg.step_min
+        for v in (1.0, 2.0, 3.0, 4.0, 5.0):
+            c.end_epoch(v)
+        assert c.step == c.cfg.step_max
+
+    def test_ratio_stays_in_bounds(self):
+        c = HillClimbingController(self.cfg())
+        for i in range(200):
+            c.end_epoch(float(i))   # monotone improvement -> keeps pushing
+            assert 0.0 <= c.ratio <= 1.0
+
+    def test_never_stuck_at_boundary(self):
+        # Parked at a boundary, the controller must step back inside the
+        # legal band (and aim inward) instead of freezing forever.
+        for boundary, inward in ((1.0, -1), (0.0, +1)):
+            c = HillClimbingController(self.cfg())
+            c.end_epoch(1.0)        # warmup
+            c.end_epoch(1.0)        # first sample
+            c.ratio = boundary
+            c.end_epoch(2.0)        # improving: would normally keep going
+            assert c.ratio != boundary
+            assert 0.0 <= c.ratio <= 1.0
+            assert c.direction == inward
+
+
+class TestCacheLocalityTracker:
+    def test_no_data_not_suppressed(self):
+        t = CacheLocalityTracker()
+        assert not t.suppressed(sample_block())
+
+    def test_high_hit_rate_suppresses(self):
+        t = CacheLocalityTracker(min_instances=4)
+        b = sample_block()
+        for _ in range(10):
+            t.record_instance(b.block_id, rdf_packets=4, rdf_hits=4)
+        assert t.suppressed(b)
+
+    def test_low_hit_rate_not_suppressed(self):
+        t = CacheLocalityTracker(min_instances=4)
+        b = sample_block()
+        for _ in range(10):
+            t.record_instance(b.block_id, rdf_packets=4, rdf_hits=0)
+        assert not t.suppressed(b)
+
+    def test_paper_benefit_formula(self):
+        t = CacheLocalityTracker()
+        b = sample_block()
+        t.record_instance(b.block_id, rdf_packets=4, rdf_hits=2)
+        # ceil(4 * 0.5) * 128 * 32 + 1 store * 4 * 32
+        assert t.paper_benefit(b) == 2 * 128 * 32 + 128
+
+    def test_min_instances_gate(self):
+        t = CacheLocalityTracker(min_instances=8)
+        b = sample_block()
+        for _ in range(7):
+            t.record_instance(b.block_id, rdf_packets=2, rdf_hits=2)
+        assert not t.suppressed(b)
+        t.record_instance(b.block_id, rdf_packets=2, rdf_hits=2)
+        assert t.suppressed(b)
+
+
+class TestDynamicDecider:
+    def test_cache_aware_suppression_path(self):
+        cfg = NDPConfig(mode=OffloadMode.DYNAMIC_CACHE)
+        d = DynamicDecider(cfg, cache_aware=True, seed=1)
+        b = sample_block()
+        for _ in range(10):
+            d.record_instance(b.block_id, rdf_packets=4, rdf_hits=4)
+        assert not d.decide(0, FakeDynBlock(b))
+        assert d.suppressed_count == 1
+
+    def test_non_cache_aware_ignores_stats(self):
+        cfg = NDPConfig(mode=OffloadMode.DYNAMIC)
+        d = DynamicDecider(cfg, cache_aware=False, seed=1)
+        d.controller.ratio = 1.0
+        b = sample_block()
+        for _ in range(10):
+            d.record_instance(b.block_id, rdf_packets=4, rdf_hits=4)
+        assert d.decide(0, FakeDynBlock(b))

@@ -1,0 +1,56 @@
+"""Smoke tests for the runnable examples (they must stay green)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "offload block 0" in out
+        assert "NSU code" in out
+        assert "ACK" in out                 # the Figure 6 timeline
+        assert "speedup of NaiveNDP" in out
+
+    def test_custom_workload(self):
+        out = run_example("custom_workload.py")
+        assert "SAXPY" in out or "saxpy" in out
+        assert "speedup" in out
+
+    def test_page_migration(self):
+        out = run_example("page_migration.py")
+        assert "WTA drain" in out or "fetch-bound" in out
+        assert "swaps observed" in out
+
+    def test_graph_analytics(self):
+        out = run_example("graph_analytics.py")
+        assert "single indirect load" in out
+        assert "fetch efficiency" in out
+
+    def test_asm_kernel(self):
+        out = run_example("asm_kernel.py")
+        assert "gather_triad" in out
+        assert "single indirect gather" in out
+        assert "speedup" in out
+
+    def test_all_examples_exist_and_have_docstrings(self):
+        scripts = sorted(EXAMPLES.glob("*.py"))
+        assert len(scripts) >= 6
+        for s in scripts:
+            text = s.read_text()
+            assert text.startswith("#!") or text.startswith('"""'), s.name
+            assert '"""' in text, s.name
+            assert "def main()" in text, s.name

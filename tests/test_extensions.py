@@ -1,0 +1,74 @@
+"""Tests for the optional extensions: the NSU read-only cache (paper
+Section 7.1's suggestion for BPROP-like workloads) and the oracle target
+selection policy (the Figure 5 alternative)."""
+
+import pytest
+
+from repro.config import ci_config
+from repro.sim.runner import run_workload
+from repro.sim.system import System
+from repro.workloads import Scale, get_workload
+
+
+def run_with(base, workload, config, scale="ci"):
+    return run_workload(workload, config, base=base, scale=scale)
+
+
+class TestROCache:
+    def test_disabled_by_default(self):
+        cfg = ci_config().with_mode("naive")
+        system = System(cfg)
+        assert all(n.ro_cache is None for n in system.nsus)
+
+    def test_enabled_by_config(self):
+        cfg = ci_config().with_mode("naive").with_ro_cache(4096)
+        system = System(cfg)
+        assert all(n.ro_cache is not None for n in system.nsus)
+
+    def test_reduces_bprop_hit_reshipping(self):
+        # BPROP's constant structure is re-shipped on every RDF hit; the
+        # read-only cache should cut those GPU-link bytes materially.
+        scale = Scale("ci", 48, 8)
+        base = ci_config()
+        without = run_workload("BPROP", "NDP(0.6)", base=base, scale=scale)
+        with_ro = run_workload("BPROP", "NDP(0.6)",
+                               base=base.with_ro_cache(4096), scale=scale)
+        assert with_ro.traffic.gpu_link < without.traffic.gpu_link
+        assert with_ro.cycles <= without.cycles * 1.05
+
+    def test_ro_cache_invalidated_by_ndp_writes(self):
+        cfg = ci_config().with_mode("naive").with_ro_cache(4096)
+        system = System(cfg)
+        nsu = system.nsus[0]
+        nsu.ro_cache.insert(1234)
+        assert nsu.ro_cache_hit(1234)
+        nsu.ro_invalidate(1234)
+        assert not nsu.ro_cache_hit(1234)
+
+    def test_correct_results_with_ro_cache(self):
+        cfg = ci_config().with_ro_cache(4096)
+        r = run_workload("BPROP", "NaiveNDP", base=cfg, scale="ci")
+        inst = get_workload("BPROP").build(cfg, "ci")
+        assert r.warps_completed == inst.num_warps
+
+
+class TestTargetPolicy:
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            ci_config().with_target_policy("magic")
+
+    def test_optimal_reduces_network_traffic(self):
+        # The oracle policy places blocks at the modal stack; inter-HMC
+        # forwarding bytes must not increase.
+        base = ci_config()
+        first = run_workload("BFS", "NDP(1.0)", base=base, scale="ci")
+        opt = run_workload("BFS", "NDP(1.0)",
+                           base=base.with_target_policy("optimal"),
+                           scale="ci")
+        assert opt.traffic.mem_net <= first.traffic.mem_net
+
+    def test_both_policies_complete_work(self):
+        base = ci_config().with_target_policy("optimal")
+        r = run_workload("VADD", "NaiveNDP", base=base, scale="ci")
+        inst = get_workload("VADD").build(base, "ci")
+        assert r.warps_completed == inst.num_warps

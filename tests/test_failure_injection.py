@@ -1,0 +1,79 @@
+"""Failure-injection tests: the simulator must fail loudly, not hang or
+silently corrupt, when components misbehave."""
+
+import pytest
+
+from repro.config import ci_config
+from repro.sim.runner import make_config, run_workload
+from repro.sim.system import SimulationTimeout, System
+from repro.workloads import get_workload
+
+
+class TestWatchdog:
+    def test_timeout_raised_not_hang(self):
+        # An absurdly small cycle budget must raise SimulationTimeout with
+        # diagnostic info, never loop forever.
+        with pytest.raises(SimulationTimeout) as exc:
+            run_workload("VADD", "Baseline", base=ci_config(), scale="ci",
+                         max_cycles=10)
+        assert "VADD" in str(exc.value)
+        assert "warps live" in str(exc.value)
+
+    def test_lost_ack_detected(self):
+        # Drop every ACK packet: warps block at OFLD.END forever and the
+        # watchdog fires.
+        cfg = make_config("NaiveNDP", ci_config())
+        system = System(cfg, config_name="NaiveNDP")
+        inst = get_workload("VADD").build(cfg, "ci")
+        system.set_code_layout(inst.blocks)
+        system.load_workload(inst.name, inst.traces)
+        system.ndp.send_ack = lambda nsu, inst_: None   # drop ACKs
+        with pytest.raises(SimulationTimeout):
+            system.run(max_cycles=50_000)
+
+    def test_lost_rdf_response_detected(self):
+        # Swallow read-data deliveries: NSU warps starve.
+        cfg = make_config("NaiveNDP", ci_config())
+        system = System(cfg, config_name="NaiveNDP")
+        inst = get_workload("VADD").build(cfg, "ci")
+        system.set_code_layout(inst.blocks)
+        system.load_workload(inst.name, inst.traces)
+        for nsu in system.nsus:
+            nsu.deliver_read = lambda *a, **k: None
+        with pytest.raises(SimulationTimeout):
+            system.run(max_cycles=50_000)
+
+    def test_stuck_credit_detected(self):
+        # Never return credits: after the initial grants run out, blocks
+        # queue forever.
+        cfg = make_config("NaiveNDP", ci_config())
+        system = System(cfg, config_name="NaiveNDP")
+        inst = get_workload("VADD").build(cfg, "ci")
+        system.set_code_layout(inst.blocks)
+        system.load_workload(inst.name, inst.traces)
+        system.ndp.credits.release = lambda *a, **k: None
+        with pytest.raises(SimulationTimeout):
+            system.run(max_cycles=80_000)
+
+
+class TestBufferInvariantTraps:
+    def test_read_buffer_overflow_trips_assertion(self):
+        from repro.core.buffers import ReadDataBuffer
+
+        b = ReadDataBuffer(2)
+        b.expect(("a", 0), 1)
+        b.expect(("a", 1), 1)
+        with pytest.raises(AssertionError):
+            b.expect(("a", 2), 1)
+
+    def test_cmd_buffer_overflow_trips_assertion(self):
+        cfg = make_config("NaiveNDP", ci_config())
+        system = System(cfg)
+        nsu = system.nsus[0]
+        nsu.num_slots = 0   # never spawn: queue can only grow
+        class FakeInst:
+            block = get_workload("VADD").build(cfg, "ci").blocks[0]
+            uid = ("x",)
+        with pytest.raises(AssertionError):
+            for i in range(cfg.nsu.cmd_buffer_entries + 1):
+                nsu.receive_cmd(FakeInst())

@@ -1,0 +1,120 @@
+"""Unit tests for the cache and MSHR models."""
+
+import pytest
+
+from repro.gpu.cache import Cache, CacheStats, MSHRFile
+
+
+def mk(size=4096, assoc=4, line=128):
+    return Cache(size, assoc, line)
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        c = mk()
+        assert not c.lookup(10)
+        c.insert(10)
+        assert c.lookup(10)
+        assert c.stats.hits == 1
+        assert c.stats.misses == 1
+
+    def test_lru_eviction_order(self):
+        c = Cache(4 * 128, 4, 128)  # one set, 4 ways
+        for line in range(4):
+            c.insert(line * c.num_sets)  # all map to set 0
+        victim = c.insert(100 * c.num_sets)
+        assert victim == 0
+
+    def test_lookup_refreshes_lru(self):
+        c = Cache(4 * 128, 4, 128)
+        for line in range(4):
+            c.insert(line)
+        c.lookup(0)                  # 0 becomes MRU
+        victim = c.insert(400)
+        assert victim == 1
+
+    def test_insert_existing_no_eviction(self):
+        c = mk()
+        c.insert(5)
+        assert c.insert(5) is None
+        assert c.occupancy == 1
+
+    def test_invalidate(self):
+        c = mk()
+        c.insert(7)
+        assert c.invalidate(7)
+        assert not c.lookup(7)
+        assert not c.invalidate(7)
+        assert c.stats.invalidations == 1
+
+    def test_probe_does_not_count_demand(self):
+        c = mk()
+        c.insert(3)
+        assert c.probe(3)
+        assert not c.probe(4)
+        assert c.stats.hits == 0 and c.stats.misses == 0
+        assert c.stats.accesses_probe == 2
+
+    def test_touch_write_no_allocate(self):
+        c = mk()
+        c.touch_write(9)
+        assert not c.contains(9)
+
+    def test_sets_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            Cache(3 * 128 * 4, 4, 128)
+
+    def test_distinct_sets_do_not_conflict(self):
+        c = mk(size=2 * 4 * 128)   # 2 sets
+        c.insert(0)
+        c.insert(1)
+        assert c.contains(0) and c.contains(1)
+
+    def test_hit_rate(self):
+        c = mk()
+        c.insert(1)
+        c.lookup(1)
+        c.lookup(2)
+        assert c.stats.hit_rate == pytest.approx(0.5)
+
+
+class TestMSHR:
+    def test_new_then_merge(self):
+        stats = CacheStats()
+        m = MSHRFile(4, stats)
+        calls = []
+        assert m.allocate(5, lambda: calls.append("a")) == "new"
+        assert m.allocate(5, lambda: calls.append("b")) == "merged"
+        assert stats.mshr_merges == 1
+        assert m.fill(5) == 2
+        assert calls == ["a", "b"]
+
+    def test_full_rejects(self):
+        stats = CacheStats()
+        m = MSHRFile(2, stats)
+        assert m.allocate(1, lambda: None) == "new"
+        assert m.allocate(2, lambda: None) == "new"
+        assert m.allocate(3, lambda: None) == "full"
+        assert stats.mshr_rejects == 1
+
+    def test_merge_allowed_when_full(self):
+        stats = CacheStats()
+        m = MSHRFile(1, stats)
+        m.allocate(1, lambda: None)
+        assert m.allocate(1, lambda: None) == "merged"
+
+    def test_fill_frees_entry(self):
+        m = MSHRFile(1, CacheStats())
+        m.allocate(1, lambda: None)
+        m.fill(1)
+        assert m.allocate(2, lambda: None) == "new"
+
+    def test_fill_unknown_line_noop(self):
+        m = MSHRFile(1, CacheStats())
+        assert m.fill(42) == 0
+
+    def test_peak_tracking(self):
+        m = MSHRFile(8, CacheStats())
+        for i in range(5):
+            m.allocate(i, lambda: None)
+        assert m.peak == 5

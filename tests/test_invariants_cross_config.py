@@ -1,0 +1,107 @@
+"""Cross-configuration invariants at CI scale.
+
+Fast, scale-robust counterparts of the benchmark assertions: relations
+that must hold at *any* scale (traffic conservation, work conservation,
+monotonicities) rather than the magnitude claims the bench suite checks.
+"""
+
+import pytest
+
+from repro.config import ci_config
+from repro.sim.runner import run_workload
+from repro.workloads import Scale
+
+BASE = ci_config()
+SC = Scale("ci", 64, 4)
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for w in ("VADD", "BFS", "STN"):
+        for c in ("Baseline", "NDP(0.4)", "NDP(1.0)"):
+            out[(w, c)] = run_workload(w, c, base=BASE, scale=SC)
+    return out
+
+
+class TestTrafficInvariants:
+    @pytest.mark.parametrize("w", ["VADD", "BFS"])
+    def test_offload_cuts_gpu_traffic_for_cache_cold_workloads(
+            self, results, w):
+        base = results[(w, "Baseline")].traffic.gpu_link
+        full = results[(w, "NDP(1.0)")].traffic.gpu_link
+        assert full < base
+
+    def test_offload_inflates_gpu_traffic_for_cache_hot_stn(self, results):
+        # The Section 7.1 effect in byte counters: STN's neighbour loads
+        # hit the GPU caches (free off-chip in the baseline), but under
+        # full offload every hit's data is re-shipped to the NSU over the
+        # GPU links.
+        base = results[("STN", "Baseline")].traffic.gpu_link
+        full = results[("STN", "NDP(1.0)")].traffic.gpu_link
+        assert full > base
+
+    @pytest.mark.parametrize("w", ["VADD", "BFS", "STN"])
+    def test_network_traffic_grows_with_ratio(self, results, w):
+        half = results[(w, "NDP(0.4)")].traffic.mem_net
+        full = results[(w, "NDP(1.0)")].traffic.mem_net
+        assert 0 < half <= full
+
+    @pytest.mark.parametrize("w", ["VADD", "BFS", "STN"])
+    def test_invalidations_proportional_to_ndp_stores(self, results, w):
+        r = results[(w, "NDP(1.0)")]
+        if r.traffic.invalidations:
+            # 16 bytes per NDP write.
+            assert r.traffic.invalidations % 16 == 0
+
+    def test_rdf_divergence_saves_bytes_vs_baseline_lines(self, results):
+        # BFS full offload: RDF responses carry touched words only, so
+        # network + GPU-link bytes together undercut the baseline's
+        # full-line GPU traffic.
+        base = results[("BFS", "Baseline")].traffic.gpu_link
+        r = results[("BFS", "NDP(1.0)")]
+        assert r.traffic.gpu_link + r.traffic.mem_net < base
+
+
+class TestWorkConservation:
+    @pytest.mark.parametrize("w", ["VADD", "BFS", "STN"])
+    def test_instructions_identical_across_configs(self, results, w):
+        vals = {results[(w, c)].instructions
+                for c in ("Baseline", "NDP(0.4)", "NDP(1.0)")}
+        assert len(vals) == 1
+
+    @pytest.mark.parametrize("w", ["VADD", "BFS", "STN"])
+    def test_warps_complete_everywhere(self, results, w):
+        vals = {results[(w, c)].warps_completed
+                for c in ("Baseline", "NDP(0.4)", "NDP(1.0)")}
+        assert len(vals) == 1
+
+    @pytest.mark.parametrize("w", ["VADD", "BFS", "STN"])
+    def test_nsu_work_scales_with_ratio(self, results, w):
+        n0 = results[(w, "Baseline")].nsu_instructions
+        n4 = results[(w, "NDP(0.4)")].nsu_instructions
+        n10 = results[(w, "NDP(1.0)")].nsu_instructions
+        assert n0 == 0
+        assert 0 < n4 < n10
+
+
+class TestDeterminism:
+    def test_repeated_runs_identical(self):
+        a = run_workload("BFS", "NDP(0.6)", base=BASE, scale=SC)
+        b = run_workload("BFS", "NDP(0.6)", base=BASE, scale=SC)
+        assert a.cycles == b.cycles
+        assert a.traffic == b.traffic
+        assert a.stalls == b.stalls
+        assert a.offloads_issued == b.offloads_issued
+
+    def test_seed_changes_results(self):
+        import dataclasses
+
+        other = dataclasses.replace(BASE, seed=99)
+        a = run_workload("BFS", "NDP(0.6)", base=BASE, scale=SC)
+        b = run_workload("BFS", "NDP(0.6)", base=other, scale=SC)
+        # Different page mapping + decision RNG: same work, different
+        # timing/placement.
+        assert a.instructions == b.instructions
+        assert (a.cycles, a.traffic.mem_net) != (b.cycles,
+                                                 b.traffic.mem_net)

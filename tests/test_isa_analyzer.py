@@ -1,0 +1,198 @@
+"""Unit tests for offload-block extraction and Eq. (1) scoring."""
+
+import pytest
+
+from repro.config import REG_SIZE
+from repro.isa import (
+    BasicBlock,
+    Kernel,
+    Opcode,
+    address_calc_indices,
+    alu,
+    analyze_kernel,
+    extract_candidate_blocks,
+    ld,
+    live_in_regs,
+    live_out_regs,
+    score_block,
+    st,
+    shmem_ld,
+    shmem_st,
+    sync,
+)
+
+
+def vadd_region():
+    """The Figure 2 vector-add body: C[i] = A[i] + B[i].
+
+    R0/R1/R2 hold precomputed addresses, R10 is address arithmetic.
+    """
+    return (
+        ld(4, 0, "A"),
+        ld(5, 1, "B"),
+        alu(6, 4, 5),            # data ALU -> NSU
+        alu(10, 2, 3),           # address calc for the store -> GPU
+        st(6, 10, "C"),
+    )
+
+
+class TestAddressCalc:
+    def test_store_address_alu_marked(self):
+        region = vadd_region()
+        marked = address_calc_indices(region)
+        assert marked == {3}
+
+    def test_data_alu_not_marked(self):
+        region = vadd_region()
+        assert 2 not in address_calc_indices(region)
+
+    def test_chained_address_arithmetic(self):
+        region = (
+            alu(1, 0),           # addr calc (feeds 2)
+            alu(2, 1),           # addr calc (feeds ld)
+            ld(3, 2, "A"),
+        )
+        assert address_calc_indices(region) == {0, 1}
+
+    def test_indirect_load_producer_not_marked(self):
+        # x = B[A[i]]: the A-load's result feeds the B address, but the
+        # load itself is memory, not address arithmetic.
+        region = (
+            ld(4, 0, "A"),
+            alu(5, 4),           # turns the loaded index into an address
+            ld(6, 5, "B", indirect=True),
+        )
+        marked = address_calc_indices(region)
+        assert marked == {1}
+
+    def test_no_memory_no_marks(self):
+        assert address_calc_indices((alu(1, 0), alu(2, 1))) == frozenset()
+
+
+class TestLiveness:
+    def test_live_in_excludes_loaded_and_addr_regs(self):
+        region = vadd_region()
+        ac = address_calc_indices(region)
+        # R4, R5 come from the read-data buffer; addresses travel in
+        # RDF/WTA packets; nothing else is read -> no live-ins.
+        assert live_in_regs(region, ac) == frozenset()
+
+    def test_live_in_detects_external_operand(self):
+        region = (
+            ld(4, 0, "A"),
+            alu(5, 4, 9),        # R9 defined outside the block
+            st(5, 1, "C"),
+        )
+        ac = address_calc_indices(region)
+        assert live_in_regs(region, ac) == {9}
+
+    def test_live_out_only_when_read_later(self):
+        region = (ld(4, 0, "A"), alu(5, 4))
+        ac = address_calc_indices(region)
+        assert live_out_regs(region, ac, frozenset({5})) == {5}
+        assert live_out_regs(region, ac, frozenset({7})) == frozenset()
+
+    def test_live_out_ignores_gpu_side_defs(self):
+        region = vadd_region()
+        ac = address_calc_indices(region)
+        # R10 is produced by the address ALU, which stays on the GPU.
+        assert live_out_regs(region, ac, frozenset({10})) == frozenset()
+
+
+class TestScore:
+    def test_vadd_score_counts_three_accesses(self):
+        region = vadd_region()
+        ac = address_calc_indices(region)
+        assert score_block(region, ac, frozenset()) == 12.0  # 3 x 4B
+
+    def test_register_transfer_penalty(self):
+        region = (
+            ld(4, 0, "A"),
+            alu(5, 4, 9),        # live-in R9
+            st(5, 1, "C"),
+        )
+        ac = address_calc_indices(region)
+        # 2 accesses * 4B - 1 live-in * REG_SIZE
+        assert score_block(region, ac, frozenset()) == 8.0 - REG_SIZE
+
+    def test_negative_score_when_context_dominates(self):
+        region = (alu(5, 10, 11), alu(6, 12, 13), alu(7, 5, 6),
+                  st(7, 0, "C"))
+        ac = address_calc_indices(region)
+        s = score_block(region, ac, frozenset())
+        assert s == 4.0 - 4 * REG_SIZE
+        assert s < 0
+
+
+class TestExtraction:
+    def test_vadd_kernel_single_block(self):
+        k = Kernel("vadd", [BasicBlock(list(vadd_region()))])
+        blocks = extract_candidate_blocks(k)
+        assert len(blocks) == 1
+        assert blocks[0].num_loads == 2
+        assert blocks[0].num_stores == 1
+        assert blocks[0].reason == "score"
+
+    def test_sync_splits_runs(self):
+        k = Kernel("k", [BasicBlock([
+            ld(4, 0, "A"), st(4, 1, "C"),
+            sync(),
+            ld(5, 2, "B"), st(5, 3, "D"),
+        ])])
+        blocks = extract_candidate_blocks(k)
+        assert len(blocks) == 2
+        assert [b.start for b in blocks] == [0, 3]
+
+    def test_shmem_not_offloaded(self):
+        k = Kernel("k", [BasicBlock([
+            shmem_ld(4, 0), alu(5, 4), shmem_st(5, 1),
+        ])])
+        assert extract_candidate_blocks(k) == []
+
+    def test_indirect_load_salvaged_from_negative_region(self):
+        # Region score is negative (heavy register context), but the
+        # indirect load must still be extracted alone (Section 4.4).
+        k = Kernel("k", [BasicBlock([
+            ld(4, 0, "A"),
+            alu(5, 4),
+            ld(6, 5, "B", indirect=True),
+            alu(7, 6, 10, 11, 12, 13),     # many live-ins -> negative score
+            alu(8, 7, 14, 15, 16, 17),
+        ])], live_out=frozenset({8}))
+        blocks = extract_candidate_blocks(k)
+        indirect = [b for b in blocks if b.reason == "indirect"]
+        assert len(indirect) == 1
+        assert indirect[0].num_mem == 1
+        assert indirect[0].instrs[0].indirect
+
+    def test_mem_limit_splits_block(self):
+        instrs = []
+        for i in range(6):
+            instrs.append(ld(10 + i, i, "A"))
+        instrs.append(st(10, 8, "C"))
+        k = Kernel("k", [BasicBlock(instrs)])
+        blocks = extract_candidate_blocks(k, max_mem_per_block=4)
+        assert len(blocks) == 2
+        assert blocks[0].num_mem == 4
+        assert blocks[1].num_mem == 3
+
+    def test_pure_alu_run_not_a_block(self):
+        k = Kernel("k", [BasicBlock([alu(1, 0), alu(2, 1)])])
+        assert extract_candidate_blocks(k) == []
+
+
+class TestAnalyzeKernel:
+    def test_vadd_nsu_body_length_matches_table1(self):
+        # Table 1: VADD offload block = 4 NSU instructions (2 LD, ADD, ST).
+        k = Kernel("vadd", [BasicBlock(list(vadd_region()))])
+        ak = analyze_kernel(k)
+        assert ak.nsu_body_lengths == [4]
+
+    def test_block_ids_sequential(self):
+        k = Kernel("k", [BasicBlock([
+            ld(4, 0, "A"), st(4, 1, "C"),
+            sync(),
+            ld(5, 2, "B"), st(5, 3, "D"),
+        ])])
+        ak = analyze_kernel(k)
+        assert [b.block_id for b in ak.blocks] == [0, 1]

@@ -1,0 +1,93 @@
+"""Unit tests for partitioned code generation (repro.isa.codegen)."""
+
+from repro.isa import BasicBlock, Kernel, alu, analyze_kernel, ld, st
+
+
+def analyzed_vadd():
+    k = Kernel("vadd", [BasicBlock([
+        ld(4, 0, "A"),
+        ld(5, 1, "B"),
+        alu(6, 4, 5),
+        alu(10, 2, 3),
+        st(6, 10, "C"),
+    ])])
+    return analyze_kernel(k)
+
+
+class TestGPUCode:
+    def test_structure(self):
+        blk = analyzed_vadd().blocks[0]
+        kinds = [g.kind for g in blk.gpu_code]
+        assert kinds == ["beg", "rdf", "rdf", "nop", "addr_alu", "wta", "end"]
+
+    def test_offloaded_alu_becomes_nop(self):
+        blk = analyzed_vadd().blocks[0]
+        nop = [g for g in blk.gpu_code if g.kind == "nop"]
+        assert len(nop) == 1
+        assert nop[0].instr.dst == 6
+
+    def test_address_alu_kept_on_gpu(self):
+        blk = analyzed_vadd().blocks[0]
+        aa = [g for g in blk.gpu_code if g.kind == "addr_alu"]
+        assert len(aa) == 1
+        assert aa[0].instr.dst == 10
+
+
+class TestNSUCode:
+    def test_structure_and_seq_numbers(self):
+        blk = analyzed_vadd().blocks[0]
+        kinds = [(n.kind, n.seq) for n in blk.nsu_code]
+        assert kinds == [("beg", -1), ("ld", 0), ("ld", 1), ("alu", -1),
+                         ("st", 2), ("end", -1)]
+
+    def test_address_alu_removed_from_nsu(self):
+        blk = analyzed_vadd().blocks[0]
+        assert all(n.instr is None or n.instr.dst != 10
+                   for n in blk.nsu_code)
+
+    def test_body_len_excludes_beg_end(self):
+        blk = analyzed_vadd().blocks[0]
+        assert blk.nsu_body_len == 4
+
+
+class TestRegisterTransfer:
+    def test_vadd_no_transfers(self):
+        blk = analyzed_vadd().blocks[0]
+        assert blk.send_regs == frozenset()
+        assert blk.ret_regs == frozenset()
+
+    def test_live_in_out_round_trip(self):
+        k = Kernel("k", [BasicBlock([
+            ld(4, 0, "A"),
+            ld(7, 2, "B"),
+            alu(5, 4, 7, 9),  # R9 live-in
+            st(5, 1, "C"),
+        ])])
+        ak = analyze_kernel(k)
+        blk = ak.blocks[0]
+        assert 9 in blk.send_regs
+
+    def test_ret_regs_for_value_needed_later(self):
+        k = Kernel("k", [BasicBlock([
+            ld(4, 0, "A"),
+            ld(6, 2, "B"),
+            alu(5, 4, 6),
+        ]), BasicBlock([
+            st(5, 1, "C"),    # in a later basic block, executed on GPU
+        ])])
+        ak = analyze_kernel(k)
+        # first block must return R5 to the GPU
+        assert frozenset({5}) == ak.blocks[0].ret_regs
+
+
+class TestCounts:
+    def test_load_store_counts(self):
+        blk = analyzed_vadd().blocks[0]
+        assert blk.num_loads == 2
+        assert blk.num_stores == 1
+
+    def test_listing_mentions_block_id(self):
+        blk = analyzed_vadd().blocks[0]
+        text = blk.listing()
+        assert "offload block 0" in text
+        assert "GPU code" in text and "NSU code" in text

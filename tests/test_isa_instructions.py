@@ -1,0 +1,114 @@
+"""Unit tests for the kernel IR (repro.isa.instructions / kernel)."""
+
+import pytest
+
+from repro.isa import (
+    BasicBlock,
+    Instr,
+    Kernel,
+    Opcode,
+    alu,
+    branch,
+    ld,
+    sfu,
+    shmem_ld,
+    shmem_st,
+    st,
+    sync,
+)
+
+
+class TestConstructors:
+    def test_ld_fields(self):
+        i = ld(dst=3, addr=1, array="A")
+        assert i.op is Opcode.LD
+        assert i.dst == 3
+        assert i.addr_src == 1
+        assert i.array == "A"
+        assert not i.indirect
+        assert i.dtype_bytes == 4
+
+    def test_ld_indirect_flag(self):
+        i = ld(dst=3, addr=1, array="B", indirect=True)
+        assert i.indirect
+
+    def test_st_fields(self):
+        i = st(data=5, addr=2, array="C")
+        assert i.op is Opcode.ST
+        assert i.dst is None
+        assert i.srcs == (5,)
+        assert i.addr_src == 2
+
+    def test_alu_fields(self):
+        i = alu(7, 1, 2)
+        assert i.op is Opcode.ALU
+        assert i.dst == 7
+        assert i.srcs == (1, 2)
+
+    def test_sfu_latency_class(self):
+        assert sfu(1, 2).latency_class == "sfu"
+        assert alu(1, 2).latency_class == "alu"
+
+    def test_shmem_and_sync(self):
+        assert shmem_ld(1, 2).op is Opcode.SHMEM_LD
+        assert shmem_st(1, 2).op is Opcode.SHMEM_ST
+        assert sync().op is Opcode.SYNC
+        assert branch(3).op is Opcode.BRANCH
+
+
+class TestValidation:
+    def test_ld_requires_array(self):
+        with pytest.raises(ValueError):
+            Instr(Opcode.LD, dst=1, addr_src=0)
+
+    def test_ld_requires_dst(self):
+        with pytest.raises(ValueError):
+            Instr(Opcode.LD, addr_src=0, array="A")
+
+    def test_st_must_not_write(self):
+        with pytest.raises(ValueError):
+            Instr(Opcode.ST, dst=1, addr_src=0, array="A")
+
+
+class TestReads:
+    def test_reads_includes_addr_src(self):
+        i = ld(dst=3, addr=9, array="A")
+        assert 9 in i.reads
+
+    def test_reads_deduplicates_addr_src(self):
+        i = Instr(Opcode.ST, srcs=(4, 9), addr_src=9, array="A")
+        assert i.reads == (4, 9)
+
+    def test_st_reads_data_and_addr(self):
+        i = st(data=4, addr=2, array="A")
+        assert set(i.reads) == {4, 2}
+
+
+class TestBasicBlock:
+    def test_len_and_iter(self):
+        b = BasicBlock([alu(1, 0), alu(2, 1)])
+        assert len(b) == 2
+        assert [i.dst for i in b] == [1, 2]
+
+    def test_branch_only_terminal(self):
+        BasicBlock([alu(1, 0), branch()])  # fine
+        with pytest.raises(ValueError):
+            BasicBlock([branch(), alu(1, 0)])
+
+
+class TestKernel:
+    def _kernel(self):
+        b0 = BasicBlock([alu(1, 0), ld(2, 1, "A")], label="b0")
+        b1 = BasicBlock([alu(3, 2), st(3, 1, "C")], label="b1")
+        return Kernel("k", [b0, b1], live_out=frozenset({3}))
+
+    def test_all_instrs_order(self):
+        k = self._kernel()
+        assert [i.op for i in k.all_instrs()] == [
+            Opcode.ALU, Opcode.LD, Opcode.ALU, Opcode.ST]
+
+    def test_num_instrs(self):
+        assert self._kernel().num_instrs == 4
+
+    def test_registers(self):
+        assert self._kernel().registers() == {0, 1, 2, 3}

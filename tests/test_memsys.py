@@ -1,0 +1,138 @@
+"""Unit tests for the GPU memory hierarchy glue (repro.sim.memsys)."""
+
+import pytest
+
+from repro.config import LINE_SIZE, ci_config
+from repro.gpu.coalescer import MemAccess
+from repro.memory.address import AddressMap
+from repro.memory.hmc import HMCStack
+from repro.network.fabric import GPULinks
+from repro.sim.engine import Engine, LinkCounters
+from repro.sim.memsys import GPUMemSystem
+
+
+class FakeSM:
+    def __init__(self, sm_id=0):
+        self.sm_id = sm_id
+
+
+def mk_memsys():
+    e = Engine()
+    cfg = ci_config()
+    counters = LinkCounters()
+    amap = AddressMap(cfg)
+    links = GPULinks(e, cfg, counters)
+    hmcs = [HMCStack(e, cfg, i, amap, counters)
+            for i in range(cfg.num_hmcs)]
+    return e, GPUMemSystem(e, cfg, amap=amap, gpu_links=links, hmcs=hmcs)
+
+
+def acc(line, words=32):
+    return MemAccess(line, words, False)
+
+
+class TestLoadPath:
+    def test_cold_load_goes_to_dram_and_fills(self):
+        e, mem = mk_memsys()
+        done = []
+        assert mem.load(FakeSM(), acc(100), lambda: done.append(e.now))
+        e.drain()
+        assert len(done) == 1
+        assert done[0] > 50                    # full DRAM round trip
+        assert mem.l1[0].contains(100)
+        part = mem.amap.hmc_of(100 * LINE_SIZE)
+        assert mem.l2[part].contains(100)
+
+    def test_l1_hit_is_fast(self):
+        e, mem = mk_memsys()
+        mem.load(FakeSM(), acc(5), lambda: None)
+        e.drain()
+        t0 = e.now
+        done = []
+        mem.load(FakeSM(), acc(5), lambda: done.append(e.now - t0))
+        e.drain()
+        assert done == [mem.l1_latency]
+
+    def test_l2_hit_skips_dram(self):
+        e, mem = mk_memsys()
+        # SM 0 fetches; SM 1 then hits in the shared L2.
+        mem.load(FakeSM(0), acc(9), lambda: None)
+        e.drain()
+        reads_before = sum(h.stats.reads for h in mem.hmcs)
+        done = []
+        mem.load(FakeSM(1), acc(9), lambda: done.append(1))
+        e.drain()
+        assert done
+        assert sum(h.stats.reads for h in mem.hmcs) == reads_before
+
+    def test_l1_mshr_merge_single_dram_access(self):
+        e, mem = mk_memsys()
+        done = []
+        for _ in range(4):
+            mem.load(FakeSM(), acc(7), lambda: done.append(1))
+        e.drain()
+        assert len(done) == 4
+        assert sum(h.stats.reads for h in mem.hmcs) == 1
+
+    def test_l1_mshr_full_rejects(self):
+        e, mem = mk_memsys()
+        cap = mem.l1_mshr[0].num_entries
+        for i in range(cap):
+            assert mem.load(FakeSM(), acc(1000 + i), lambda: None)
+        assert not mem.load(FakeSM(), acc(5000), lambda: None)
+
+    def test_l2_mshr_full_parks_and_drains(self):
+        e, mem = mk_memsys()
+        # Flood one slice beyond its MSHR capacity from several SMs.
+        part = mem.amap.hmc_of(0)
+        lines = [l for l in range(4000)
+                 if mem.amap.hmc_of(l * LINE_SIZE) == part]
+        done = []
+        n = mem.l2_mshr[part].num_entries + 20
+        for i, l in enumerate(lines[:n]):
+            ok = mem.load(FakeSM(i % len(mem.l1)), acc(l),
+                          lambda: done.append(1))
+            assert ok   # L1 MSHRs spread across SMs; L2 parks overflow
+        e.drain()
+        assert len(done) == n
+        assert all(len(wq) == 0 for wq in mem._l2_waiters)
+
+
+class TestStorePath:
+    def test_write_through_reaches_dram(self):
+        e, mem = mk_memsys()
+        assert mem.store(FakeSM(), acc(42, words=8))
+        e.drain()
+        assert sum(h.stats.writes for h in mem.hmcs) == 1
+
+    def test_store_does_not_allocate(self):
+        e, mem = mk_memsys()
+        mem.store(FakeSM(), acc(42))
+        e.drain()
+        assert not mem.l1[0].contains(42)
+
+
+class TestNDPHooks:
+    def test_rdf_probe_checks_l1_then_l2(self):
+        e, mem = mk_memsys()
+        assert not mem.rdf_probe(0, 77)
+        part = mem.amap.hmc_of(77 * LINE_SIZE)
+        mem.l2[part].insert(77)
+        assert mem.rdf_probe(0, 77)
+        mem.l1[0].insert(78)
+        assert mem.rdf_probe(0, 78)
+
+    def test_rdf_probe_does_not_fill(self):
+        e, mem = mk_memsys()
+        mem.rdf_probe(0, 99)
+        assert not mem.l1[0].contains(99)
+
+    def test_invalidate_everywhere(self):
+        e, mem = mk_memsys()
+        part = mem.amap.hmc_of(7 * LINE_SIZE)
+        mem.l2[part].insert(7)
+        for l1 in mem.l1:
+            l1.insert(7)
+        mem.invalidate(7)
+        assert not mem.l2[part].contains(7)
+        assert all(not l1.contains(7) for l1 in mem.l1)

@@ -1,0 +1,47 @@
+"""Tests for the markdown report generator (CI scale, small subset)."""
+
+import pytest
+
+from repro.analysis.figures import ExperimentRunner
+from repro.analysis.report import PAPER_HEADLINES, _md_table, generate_report
+from repro.config import ci_config
+
+
+class TestMdTable:
+    def test_structure(self):
+        text = _md_table([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert len(lines) == 4
+
+    def test_empty(self):
+        assert _md_table([]) == ""
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        runner = ExperimentRunner(base=ci_config(), scale="ci",
+                                  workloads=["VADD", "KMN"])
+        return generate_report(runner)
+
+    def test_all_sections_present(self, report):
+        for section in ("Table 1", "Figure 5", "Figure 7", "Figure 8",
+                        "Figure 9", "Figure 10", "Figure 11",
+                        "Section 4.2", "Section 7.5"):
+            assert section in report
+
+    def test_paper_references_quoted(self, report):
+        assert "2.84 KB" in report
+        assert "paper" in report.lower()
+
+    def test_is_valid_markdown_tables(self, report):
+        # Every table row line has balanced pipes.
+        for line in report.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")
+
+    def test_headline_constants(self):
+        assert PAPER_HEADLINES["max_speedup"] == pytest.approx(1.668)
+        assert PAPER_HEADLINES["avg_energy_saving"] == pytest.approx(0.086)

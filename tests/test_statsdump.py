@@ -1,0 +1,47 @@
+"""Tests for the hierarchical statistics dump."""
+
+import pytest
+
+from repro.analysis.statsdump import dump_stats
+from repro.config import ci_config
+from repro.sim.runner import make_config
+from repro.sim.system import System
+from repro.workloads import get_workload
+
+
+def run_system(config):
+    cfg = make_config(config, ci_config())
+    system = System(cfg, config_name=config)
+    inst = get_workload("VADD").build(cfg, "ci")
+    system.set_code_layout(inst.blocks)
+    system.load_workload(inst.name, inst.traces)
+    return system, system.run()
+
+
+class TestDumpStats:
+    def test_baseline_sections(self):
+        system, r = run_system("Baseline")
+        text = dump_stats(system, r)
+        for section in ("cycles", "stalls:", "gpu.caches:", "gpu.links:",
+                        "dram:", "traffic:"):
+            assert section in text
+        assert "ndp:" not in text          # no NDP in the baseline
+
+    def test_ndp_sections(self):
+        system, r = run_system("NaiveNDP")
+        text = dump_stats(system, r)
+        assert "ndp:" in text and "nsu:" in text
+        assert "offloads" in text
+        assert "nsu0.instructions" in text
+
+    def test_values_match_result(self):
+        system, r = run_system("NaiveNDP")
+        text = dump_stats(system, r)
+        assert str(r.cycles) in text
+        assert str(r.warps_completed) in text
+
+    def test_network_bytes_listed(self):
+        system, r = run_system("NaiveNDP")
+        text = dump_stats(system, r)
+        assert "memory_network:" in text
+        assert "total_bytes" in text

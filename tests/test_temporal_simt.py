@@ -1,0 +1,51 @@
+"""Tests for the temporal-SIMT NSU datapath option (Section 4.5)."""
+
+import pytest
+
+from repro.config import ci_config
+from repro.sim.runner import run_workload
+from repro.sim.system import System
+from repro.workloads import get_workload
+
+
+class TestConfig:
+    def test_default_full_width(self):
+        cfg = ci_config("naive")
+        system = System(cfg)
+        assert all(n.subcycles_per_instr == 1 for n in system.nsus)
+
+    def test_narrow_width_multiplies_subcycles(self):
+        cfg = ci_config("naive").with_nsu_simd_width(8)
+        system = System(cfg)
+        assert all(n.subcycles_per_instr == 4 for n in system.nsus)
+
+    def test_non_divisible_width_ceils(self):
+        cfg = ci_config("naive").with_nsu_simd_width(12)
+        system = System(cfg)
+        assert all(n.subcycles_per_instr == 3 for n in system.nsus)
+
+
+class TestBehaviour:
+    def test_narrow_nsu_slows_naive_offload(self):
+        base = ci_config()
+        wide = run_workload("VADD", "NaiveNDP", base=base, scale="ci")
+        narrow = run_workload(
+            "VADD", "NaiveNDP", base=base.with_nsu_simd_width(4),
+            scale="ci")
+        # 8x fewer lanes -> NSU-bound naive offload takes longer.
+        assert narrow.cycles > wide.cycles
+        assert narrow.warps_completed == wide.warps_completed
+
+    def test_narrow_nsu_correctness(self):
+        cfg = ci_config().with_nsu_simd_width(8)
+        r = run_workload("BFS", "NaiveNDP", base=cfg, scale="ci")
+        inst = get_workload("BFS").build(cfg, "ci")
+        assert r.warps_completed == inst.num_warps
+
+    def test_instruction_count_unchanged(self):
+        base = ci_config()
+        wide = run_workload("SP", "NaiveNDP", base=base, scale="ci")
+        narrow = run_workload(
+            "SP", "NaiveNDP", base=base.with_nsu_simd_width(16),
+            scale="ci")
+        assert narrow.nsu_instructions == wide.nsu_instructions

@@ -1,0 +1,85 @@
+"""Tests for workload trace files (save/load round trip + simulation)."""
+
+import json
+
+import pytest
+
+from repro.config import ci_config
+from repro.gpu.trace import DynBlock
+from repro.sim.runner import make_config
+from repro.sim.system import System
+from repro.workloads import get_workload
+from repro.workloads.trace_io import load_instance, save_instance
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return ci_config()
+
+
+def round_trip(cfg, tmp_path, workload="VADD"):
+    inst = get_workload(workload).build(cfg, "ci")
+    path = tmp_path / "trace.json"
+    save_instance(inst, str(path))
+    return inst, load_instance(str(path))
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, cfg, tmp_path):
+        a, b = round_trip(cfg, tmp_path)
+        assert b.name == a.name
+        assert b.num_warps == a.num_warps
+        assert b.analyzed.nsu_body_lengths == a.analyzed.nsu_body_lengths
+        for ta, tb in zip(a.traces, b.traces):
+            assert len(ta) == len(tb)
+
+    def test_accesses_preserved(self, cfg, tmp_path):
+        a, b = round_trip(cfg, tmp_path, "BFS")
+        for ta, tb in zip(a.traces[:4], b.traces[:4]):
+            for ia, ib in zip(ta, tb):
+                if isinstance(ia, DynBlock):
+                    assert ia.mem_accesses == ib.mem_accesses
+                    assert ia.active_threads == ib.active_threads
+                else:
+                    assert ia.accesses == ib.accesses
+
+    def test_loaded_trace_simulates_identically(self, cfg, tmp_path):
+        orig, loaded = round_trip(cfg, tmp_path, "SP")
+
+        def run(inst):
+            c = make_config("NDP(0.6)", cfg)
+            system = System(c, config_name="NDP(0.6)")
+            system.set_code_layout(inst.blocks)
+            system.load_workload(inst.name, inst.traces)
+            return system.run()
+
+        r1, r2 = run(orig), run(loaded)
+        assert r1.cycles == r2.cycles
+        assert r1.traffic.gpu_link == r2.traffic.gpu_link
+        assert r1.offloads_issued == r2.offloads_issued
+
+
+class TestValidation:
+    def test_bad_format_rejected(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps({"format": 99}))
+        with pytest.raises(ValueError):
+            load_instance(str(p))
+
+    def test_unknown_block_rejected(self, cfg, tmp_path):
+        inst = get_workload("VADD").build(cfg, "ci")
+        p = tmp_path / "t.json"
+        save_instance(inst, str(p))
+        doc = json.loads(p.read_text())
+        doc["warps"][0][0]["id"] = 42     # nonexistent block
+        p.write_text(json.dumps(doc))
+        with pytest.raises(ValueError):
+            load_instance(str(p))
+
+    def test_file_is_plain_json(self, cfg, tmp_path):
+        inst = get_workload("VADD").build(cfg, "ci")
+        p = tmp_path / "t.json"
+        save_instance(inst, str(p))
+        doc = json.loads(p.read_text())
+        assert doc["format"] == 1
+        assert ".kernel" in doc["kernel_asm"]

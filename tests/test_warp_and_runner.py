@@ -1,0 +1,145 @@
+"""Unit tests for warp state (repro.gpu.warp) and the run helpers
+(repro.sim.runner), plus the ACK-before-OFLD.END ordering corner."""
+
+import pytest
+
+from repro.config import OffloadMode, ci_config, paper_config
+from repro.gpu.trace import DynInstr
+from repro.gpu.warp import INFLIGHT, Warp, WarpState
+from repro.isa import alu
+from repro.sim.runner import (
+    EPOCH_BY_SCALE,
+    config_variants,
+    make_config,
+    run_sweep,
+    run_workload,
+)
+
+
+class FakeSM:
+    sm_id = 0
+
+    def __init__(self):
+        self.woken = []
+
+    def wake_warp(self, warp):
+        self.woken.append(warp)
+
+
+class TestWarpState:
+    def mk(self, n=3):
+        return Warp(FakeSM(), 0, [DynInstr(alu(1, 0)) for _ in range(n)])
+
+    def test_initial_state(self):
+        w = self.mk()
+        assert w.state is WarpState.READY
+        assert w.pc == 0
+        assert w.current_item() is not None
+
+    def test_advance_and_exhaustion(self):
+        w = self.mk(2)
+        w.advance()
+        w.advance()
+        assert w.current_item() is None
+
+    def test_srcs_ready_at_defaults_zero(self):
+        w = self.mk()
+        assert w.srcs_ready_at((5, 6, 7)) == 0
+
+    def test_srcs_ready_at_takes_worst(self):
+        w = self.mk()
+        w.set_reg_ready(5, 100)
+        w.set_reg_ready(6, 50)
+        assert w.srcs_ready_at((5, 6)) == 100
+
+    def test_inflight_sentinel(self):
+        w = self.mk()
+        w.mark_inflight(4)
+        assert w.srcs_ready_at((4,)) == INFLIGHT
+
+    def test_resolve_wakes_blocked_warp(self):
+        w = self.mk()
+        w.block_on_reg(4)
+        assert w.state is WarpState.DEP
+        w.resolve_reg(4, 10)
+        assert w.sm.woken == [w]
+
+    def test_resolve_other_reg_does_not_wake(self):
+        w = self.mk()
+        w.block_on_reg(4)
+        w.resolve_reg(9, 10)
+        assert w.sm.woken == []
+
+    def test_block_enter_exit(self):
+        w = self.mk()
+        w.enter_block("offload")
+        assert w.mode == "offload"
+        w.sub_pc = 3
+        w.mem_seq = 2
+        w.exit_block()
+        assert w.mode is None
+        assert w.sub_pc == 0 and w.mem_seq == 0
+        assert w.pc == 1
+
+
+class TestRunnerHelpers:
+    def test_config_variants_complete(self):
+        v = config_variants(paper_config())
+        assert set(v) == {
+            "Baseline", "Baseline_MoreCore", "NaiveNDP",
+            "NDP(0.2)", "NDP(0.4)", "NDP(0.6)", "NDP(0.8)", "NDP(1.0)",
+            "NDP(Dyn)", "NDP(Dyn)_Cache"}
+
+    def test_fig9_configs_are_known_variants(self):
+        from repro.analysis.figures import FIG9_CONFIGS
+
+        v = config_variants(paper_config())
+        assert set(FIG9_CONFIGS) <= set(v)
+
+    def test_make_config_modes(self):
+        assert make_config("NaiveNDP").ndp.mode == OffloadMode.NAIVE
+        assert make_config("NDP(0.6)").ndp.static_ratio == 0.6
+        assert make_config("NDP(Dyn)_Cache").ndp.mode == \
+            OffloadMode.DYNAMIC_CACHE
+
+    def test_unknown_config_raises(self):
+        with pytest.raises(KeyError):
+            make_config("NDP(9000)")
+
+    def test_epoch_scaled_per_preset(self):
+        assert EPOCH_BY_SCALE["ci"] < EPOCH_BY_SCALE["bench"] <= \
+            EPOCH_BY_SCALE["paper"]
+
+    def test_run_sweep_collects_all(self):
+        s = run_sweep("VADD", ["Baseline", "NDP(0.4)"], base=ci_config(),
+                      scale="ci")
+        assert set(s.results) == {"Baseline", "NDP(0.4)"}
+        assert s.speedup("NDP(0.4)") > 0
+
+
+class TestAckBeforeEnd:
+    def test_ack_arriving_before_gpu_end_still_completes(self):
+        # A no-store block whose data hits GPU caches can finish on the
+        # NSU before the GPU-side warp reaches OFLD.END; the controller
+        # must hold the ACK and complete on end_block.
+        from repro.sim.system import System
+        from repro.workloads import get_workload
+
+        cfg = make_config("NaiveNDP", ci_config())
+        system = System(cfg, config_name="NaiveNDP")
+        inst = get_workload("SP").build(cfg, "ci")
+        system.set_code_layout(inst.blocks)
+        system.load_workload(inst.name, inst.traces)
+
+        orig_end = system.ndp.end_block
+        order = {"ack_first": 0}
+
+        def spy_end(off):
+            if off.ack_arrived:
+                order["ack_first"] += 1
+            orig_end(off)
+
+        system.ndp.end_block = spy_end
+        r = system.run()
+        assert r.warps_completed == inst.num_warps
+        assert system.ndp.stats.acks == system.ndp.stats.offloads
