@@ -10,6 +10,9 @@ Environment knobs:
 * ``REPRO_BENCH_WORKLOADS`` -- comma-separated subset of Table 1 names
 * ``REPRO_BENCH_PARALLEL`` -- worker processes for the simulation grid
   (default: cpu_count - 1)
+* ``REPRO_BENCH_STORE`` -- directory for the persistent result store;
+  when set, simulations survive across benchmark sessions (falls back to
+  ``REPRO_STORE``; unset both to keep runs fully in-memory)
 """
 
 import os
@@ -42,10 +45,15 @@ def bench_workloads() -> list[str]:
     return _workloads()
 
 
+def _store() -> str | None:
+    return (os.environ.get("REPRO_BENCH_STORE")
+            or os.environ.get("REPRO_STORE"))
+
+
 @pytest.fixture(scope="session")
 def runner() -> ExperimentRunner:
     parallel = int(os.environ.get("REPRO_BENCH_PARALLEL",
                                   max(1, (os.cpu_count() or 1) - 1)))
     return ExperimentRunner(base=paper_config(), scale=_scale(),
                             workloads=_workloads(), verbose=True,
-                            parallel=parallel)
+                            parallel=parallel, store=_store())

@@ -8,9 +8,6 @@ discusses in prose:
   large epoch length").
 """
 
-import dataclasses
-
-import pytest
 
 from repro.config import paper_config
 from repro.sim.runner import run_workload

@@ -6,7 +6,7 @@ Paper claims: Baseline_MoreCore burns about the same energy as Baseline
 includes the extra memory-network links and NDP traffic.
 """
 
-from repro.analysis.figures import FIG10_CONFIGS, figure10, geomean
+from repro.analysis.figures import FIG10_CONFIGS, figure10
 
 
 def test_figure10(benchmark, runner, bench_workloads):

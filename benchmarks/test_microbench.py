@@ -4,7 +4,7 @@ for the infrastructure itself, via pytest-benchmark's timing machinery)."""
 import numpy as np
 
 from repro.config import SystemConfig, WORD_SIZE
-from repro.gpu.cache import Cache, CacheStats, MSHRFile
+from repro.gpu.cache import Cache
 from repro.gpu.coalescer import coalesce
 from repro.memory.address import AddressMap
 from repro.memory.dram import DRAMTimingSM

@@ -5,7 +5,6 @@ mechanism still gives an 11.6% average speedup -- the off-chip bandwidth
 remains the bottleneck.
 """
 
-import pytest
 
 from repro.analysis.figures import bigger_gpu
 

@@ -5,7 +5,7 @@ Paper claims: halving the NSU clock to 175 MHz keeps most of the benefit
 memory-bound, enabling a cheap, cool, old-process NSU.
 """
 
-from repro.analysis.figures import geomean, nsu_frequency
+from repro.analysis.figures import nsu_frequency
 
 
 def test_nsu_frequency(benchmark, scale, bench_workloads):

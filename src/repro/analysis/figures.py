@@ -10,12 +10,15 @@ simulate once per (workload, config).
 from __future__ import annotations
 
 import math
+import warnings
+from dataclasses import dataclass, field
 
 from repro.config import SystemConfig, paper_config
 from repro.core.target_select import target_policy_traffic_study
 from repro.energy import compute_energy
 from repro.sim.results import RunResult
 from repro.sim.runner import make_config, run_workload
+from repro.sim.store import ResultStore, cell_key
 from repro.workloads import workload_names
 
 #: Figure 9's configuration columns, in plot order.
@@ -38,56 +41,187 @@ def _run_cell(args) -> "RunResult":
                         max_cycles=max_cycles)
 
 
+@dataclass
+class RunnerStats:
+    """Where each requested cell came from (the cache-hit counters the
+    CLI prints after ``figure``/``sweep``/``report``)."""
+
+    sim_runs: int = 0       # cells actually simulated this process
+    memory_hits: int = 0    # served from the in-process cache
+    store_hits: int = 0     # served from the persistent store
+    worker_failures: int = 0
+    worker_retries: int = 0
+    serial_fallbacks: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {"sim_runs": self.sim_runs, "memory_hits": self.memory_hits,
+                "store_hits": self.store_hits,
+                "worker_failures": self.worker_failures,
+                "worker_retries": self.worker_retries,
+                "serial_fallbacks": self.serial_fallbacks}
+
+
 class ExperimentRunner:
     """Caches one simulation per (workload, config name).
 
-    With ``parallel > 1`` the :meth:`prefetch` method fans independent
-    (workload, config) cells out over a process pool; on a single-core
-    machine it degrades to serial execution.
+    Three cache levels: the in-process dict, an optional persistent
+    :class:`~repro.sim.store.ResultStore` (``store=`` path or instance),
+    and -- with ``parallel > 1`` -- a process pool that :meth:`prefetch`
+    fans independent cells out over.  Parallel sweeps are hardened: each
+    worker gets ``worker_timeout`` seconds, failed cells are retried once
+    in a fresh pool, and anything still missing falls back to serial
+    execution with a warning instead of hanging the sweep.
     """
 
     def __init__(self, base: SystemConfig | None = None,
                  scale: str = "bench", workloads=None,
                  max_cycles: int = 20_000_000, verbose: bool = False,
-                 parallel: int = 1) -> None:
+                 parallel: int = 1, store=None,
+                 worker_timeout: float = 900.0) -> None:
         self.base = base or paper_config()
         self.scale = scale
         self.workloads = list(workloads or workload_names())
         self.max_cycles = max_cycles
         self.verbose = verbose
         self.parallel = max(1, parallel)
+        self.store = (store if (store is None
+                                or isinstance(store, ResultStore))
+                      else ResultStore(store))
+        self.worker_timeout = worker_timeout
+        self.stats = RunnerStats()
         self._cache: dict[tuple[str, str], RunResult] = {}
+        # Test seams: a fake executor factory / worker fn can be injected
+        # to exercise the timeout/crash recovery paths deterministically.
+        self._executor_factory = None
+        self._worker = _run_cell
+
+    # -- store plumbing ------------------------------------------------------
+
+    def store_key(self, workload: str, config: str) -> str:
+        return cell_key(workload, config, self.base, self.scale,
+                        self.max_cycles)
+
+    def _store_get(self, workload: str, config: str) -> RunResult | None:
+        if self.store is None:
+            return None
+        return self.store.get(self.store_key(workload, config))
+
+    def _store_put(self, workload: str, config: str,
+                   result: RunResult) -> None:
+        if self.store is not None:
+            self.store.put(self.store_key(workload, config), result,
+                           meta={"scale": str(self.scale),
+                                 "max_cycles": self.max_cycles})
+
+    def _remember(self, workload: str, config: str,
+                  result: RunResult, *, persist: bool = True) -> None:
+        self._cache[(workload, config)] = result
+        if persist:
+            self._store_put(workload, config, result)
+
+    # -- cell access ---------------------------------------------------------
 
     def result(self, workload: str, config: str) -> RunResult:
         key = (workload, config)
-        if key not in self._cache:
-            if self.verbose:  # pragma: no cover - progress chatter
-                print(f"  simulating {workload} / {config} ...", flush=True)
-            self._cache[key] = run_workload(
-                workload, config, base=self.base, scale=self.scale,
-                max_cycles=self.max_cycles)
-        return self._cache[key]
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.stats.memory_hits += 1
+            return cached
+        stored = self._store_get(workload, config)
+        if stored is not None:
+            self.stats.store_hits += 1
+            self._cache[key] = stored
+            return stored
+        if self.verbose:  # pragma: no cover - progress chatter
+            print(f"  simulating {workload} / {config} ...", flush=True)
+        self.stats.sim_runs += 1
+        res = run_workload(workload, config, base=self.base,
+                           scale=self.scale, max_cycles=self.max_cycles)
+        self._remember(workload, config, res)
+        return res
 
     def prefetch(self, configs, workloads=None) -> None:
         """Simulate a grid of cells up-front, in parallel when enabled."""
         workloads = list(workloads or self.workloads)
         todo = [(w, c) for w in workloads for c in configs
                 if (w, c) not in self._cache]
+        # Serve what the persistent store already has before fanning out.
+        if self.store is not None:
+            remaining = []
+            for w, c in todo:
+                stored = self._store_get(w, c)
+                if stored is not None:
+                    self.stats.store_hits += 1
+                    self._cache[(w, c)] = stored
+                else:
+                    remaining.append((w, c))
+            todo = remaining
         if not todo:
             return
-        if self.parallel <= 1:
-            for w, c in todo:
-                self.result(w, c)
-            return
+        if self.parallel > 1:
+            todo = self._parallel_prefetch(todo)
+        for w, c in todo:
+            self.result(w, c)
+
+    def _parallel_prefetch(self, todo: list[tuple[str, str]]
+                           ) -> list[tuple[str, str]]:
+        """Fan cells over a process pool.  Returns the cells that still
+        need serial execution after the retry."""
         import concurrent.futures as cf
 
-        args = [(w, c, self.base, self.scale, self.max_cycles)
-                for w, c in todo]
-        with cf.ProcessPoolExecutor(max_workers=self.parallel) as pool:
-            for (w, c), res in zip(todo, pool.map(_run_cell, args)):
-                if self.verbose:  # pragma: no cover
-                    print(f"  [parallel] {w} / {c} done", flush=True)
-                self._cache[(w, c)] = res
+        factory = self._executor_factory or cf.ProcessPoolExecutor
+        pending = list(todo)
+        for attempt in (0, 1):
+            if not pending:
+                break
+            if attempt:
+                self.stats.worker_retries += len(pending)
+                warnings.warn(
+                    f"parallel prefetch: retrying {len(pending)} failed "
+                    f"cell(s) in a fresh worker pool", RuntimeWarning,
+                    stacklevel=3)
+            pending = self._parallel_attempt(factory, pending, cf)
+        if pending:
+            self.stats.serial_fallbacks += len(pending)
+            warnings.warn(
+                f"parallel prefetch: {len(pending)} cell(s) failed twice; "
+                f"falling back to serial simulation", RuntimeWarning,
+                stacklevel=3)
+        return pending
+
+    def _parallel_attempt(self, factory, cells, cf
+                          ) -> list[tuple[str, str]]:
+        """One pool pass over ``cells``; returns the cells that failed
+        (worker timeout or crash)."""
+        pool = factory(max_workers=min(self.parallel, len(cells)))
+        failed: list[tuple[str, str]] = []
+        futures = {}
+        try:
+            for w, c in cells:
+                arg = (w, c, self.base, self.scale, self.max_cycles)
+                futures[(w, c)] = pool.submit(self._worker, arg)
+            for (w, c), fut in futures.items():
+                try:
+                    res = fut.result(timeout=self.worker_timeout)
+                except cf.TimeoutError:
+                    self.stats.worker_failures += 1
+                    failed.append((w, c))
+                except Exception:
+                    # Worker crash (BrokenProcessPool) or a simulation
+                    # error; both are retried, then surfaced serially.
+                    self.stats.worker_failures += 1
+                    failed.append((w, c))
+                else:
+                    if self.verbose:  # pragma: no cover
+                        print(f"  [parallel] {w} / {c} done", flush=True)
+                    self.stats.sim_runs += 1
+                    self._remember(w, c, res)
+        finally:
+            # Never wait for a hung worker: cancel what has not started
+            # and leave stragglers to die with the pool's processes.
+            pool.shutdown(wait=False, cancel_futures=True)
+        return failed
 
     def speedup(self, workload: str, config: str) -> float:
         return self.result(workload, config).speedup_over(

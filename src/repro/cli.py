@@ -8,16 +8,22 @@ Commands
 * ``sweep WORKLOAD``                    -- all configs for one workload
 * ``table 1|2``                         -- regenerate a paper table
 * ``figure 5|7|8|9|10|11``              -- regenerate a paper figure
+* ``report``                            -- the full paper-vs-measured report
+* ``store ls|clear``                    -- inspect the persistent store
 * ``overhead``                          -- §7.5 hardware overhead
 
 Common flags: ``--scale ci|bench|paper``, ``--workloads A,B,...``,
-``--sms N``, ``--nsu-mhz F``, ``--ro-cache BYTES``,
-``--target-policy first|optimal``.
+``--store DIR`` / ``--no-store`` (persistent result cache, default from
+``$REPRO_STORE``), ``--parallel N`` (process-pool sweeps), ``--sms N``,
+``--nsu-mhz F``, ``--ro-cache BYTES``, ``--target-policy first|optimal``.
+``run`` additionally accepts ``--stats``, ``--trace`` and
+``--metrics OUT.jsonl`` (see docs/observability.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.analysis import figures as F
@@ -25,7 +31,8 @@ from repro.analysis import tables as T
 from repro.analysis.plots import bar_chart, line_plot
 from repro.config import paper_config
 from repro.energy import compute_energy
-from repro.sim.runner import config_variants, make_config, run_workload
+from repro.sim.runner import config_variants, make_config
+from repro.sim.store import ResultStore, cell_key
 from repro.workloads import workload_names
 
 
@@ -42,11 +49,29 @@ def _base_config(args):
     return cfg
 
 
+def _store(args) -> ResultStore | None:
+    """The persistent store selected by ``--store``/``$REPRO_STORE``."""
+    if getattr(args, "no_store", False):
+        return None
+    path = getattr(args, "store", None) or os.environ.get("REPRO_STORE")
+    return ResultStore(path) if path else None
+
+
+def _print_store_stats(runner: F.ExperimentRunner) -> None:
+    """The cache-hit accounting line printed after every sweep command."""
+    s = runner.stats
+    where = f" ({runner.store.root})" if runner.store is not None else ""
+    print(f"[store] simulations: {s.sim_runs}, store hits: {s.store_hits}, "
+          f"memory hits: {s.memory_hits}{where}")
+
+
 def _runner(args) -> F.ExperimentRunner:
     workloads = (args.workloads.split(",") if args.workloads
                  else workload_names())
     return F.ExperimentRunner(base=_base_config(args), scale=args.scale,
-                              workloads=workloads, verbose=True)
+                              workloads=workloads, verbose=True,
+                              parallel=args.parallel or 1,
+                              store=_store(args))
 
 
 def cmd_list(args) -> int:
@@ -59,21 +84,31 @@ def cmd_list(args) -> int:
 
 def cmd_run(args) -> int:
     cfg = _base_config(args)
-    if args.stats or args.trace:
-        from repro.sim.runner import EPOCH_BY_SCALE
-        from repro.sim.system import System
-        from repro.workloads import get_workload
-        import dataclasses as dc
+    store = _store(args)
+    instrumented = args.stats or args.trace or args.metrics
+    key = cell_key(args.workload, args.config, cfg, args.scale, 20_000_000)
+    r = None
+    if store is not None and not instrumented:
+        r = store.get(key)
+        if r is not None:
+            print(f"[store] hit {key[:12]}... ({store.root})")
+    if r is None:
+        from repro.sim.runner import build_system
 
-        full = make_config(args.config, cfg)
-        epoch = EPOCH_BY_SCALE.get(args.scale)
-        if epoch:
-            full = dc.replace(full, ndp=dc.replace(full.ndp,
-                                                   epoch_cycles=epoch))
-        system = System(full, config_name=args.config)
-        inst = get_workload(args.workload).build(full, args.scale)
-        system.set_code_layout(inst.blocks)
-        system.load_workload(inst.name, inst.traces)
+        registry = None
+        if args.metrics:
+            from repro.sim.metrics import MetricsRegistry
+
+            # Fail before the simulation, not after it.
+            try:
+                open(args.metrics, "w").close()
+            except OSError as e:
+                print(f"cannot write metrics to {args.metrics}: {e}",
+                      file=sys.stderr)
+                return 2
+            registry = MetricsRegistry()
+        system = build_system(args.workload, args.config, base=cfg,
+                              scale=args.scale, metrics=registry)
         trace = None
         if args.trace and system.ndp is not None:
             from repro.sim.tracing import MessageTrace
@@ -81,6 +116,8 @@ def cmd_run(args) -> int:
             trace = MessageTrace()
             system.ndp.trace = trace
         r = system.run()
+        if store is not None:
+            store.put(key, r, meta={"scale": args.scale})
         if args.stats:
             from repro.analysis.statsdump import dump_stats
 
@@ -88,9 +125,12 @@ def cmd_run(args) -> int:
         if trace is not None and trace.instances():
             print(trace.timeline(trace.instances()[0]))
             print("\nmessage summary:", trace.summary())
-        return 0
-    r = run_workload(args.workload, args.config, base=cfg,
-                     scale=args.scale)
+            if trace.truncated:
+                print(f"(trace truncated: {trace.dropped} events dropped "
+                      f"past the {trace.max_events}-event bound)")
+        if registry is not None:
+            n = registry.export_jsonl(args.metrics)
+            print(f"wrote {n} metrics records to {args.metrics}")
     print(f"{args.workload} / {args.config} @ {args.scale}")
     print(f"  cycles            {r.cycles:>12,d}")
     print(f"  instructions      {r.instructions:>12,d}   (IPC {r.ipc:.2f})")
@@ -113,11 +153,35 @@ def cmd_run(args) -> int:
 def cmd_sweep(args) -> int:
     runner = _runner(args)
     configs = list(F.FIG9_CONFIGS) + ["NaiveNDP"]
+    runner.prefetch(configs, workloads=[args.workload])
     series = {}
     for c in configs:
         series[c] = runner.speedup(args.workload, c)
     print(bar_chart(series, title=f"{args.workload}: speedup over Baseline",
                     baseline=1.0))
+    _print_store_stats(runner)
+    return 0
+
+
+def cmd_store(args) -> int:
+    store = _store(args)
+    if store is None:
+        print("no store configured: pass --store DIR or set $REPRO_STORE",
+              file=sys.stderr)
+        return 2
+    if args.action == "ls":
+        entries = store.ls()
+        for e in entries:
+            if e.get("corrupt"):
+                print(f"{e['key'][:16]}  <corrupt entry>")
+                continue
+            print(f"{e['key'][:16]}  {e.get('workload', '?'):<8s} "
+                  f"{e.get('config', '?'):<18s} scale={e.get('scale', '?'):<6} "
+                  f"{e['size_bytes']:>8,d} B")
+        print(f"{len(entries)} entries in {store.root}")
+    elif args.action == "clear":
+        n = store.clear()
+        print(f"removed {n} entries from {store.root}")
     return 0
 
 
@@ -185,19 +249,22 @@ def cmd_figure(args) -> int:
     else:
         print("figures: 5, 7, 8, 9, 10, 11", file=sys.stderr)
         return 2
+    _print_store_stats(runner)
     return 0
 
 
 def cmd_report(args) -> int:
     from repro.analysis.report import generate_report
 
-    text = generate_report(_runner(args))
+    runner = _runner(args)
+    text = generate_report(runner)
     if args.output:
         with open(args.output, "w") as f:
             f.write(text)
         print(f"wrote {args.output}")
     else:
         print(text)
+    _print_store_stats(runner)
     return 0
 
 
@@ -210,6 +277,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", default="bench",
                    choices=["ci", "bench", "paper"])
     p.add_argument("--workloads", help="comma-separated subset")
+    p.add_argument("--store", metavar="DIR",
+                   help="persistent result store directory "
+                        "(default: $REPRO_STORE)")
+    p.add_argument("--no-store", action="store_true",
+                   help="ignore $REPRO_STORE and always simulate")
+    p.add_argument("--parallel", type=int, metavar="N",
+                   help="worker processes for sweep/figure/report grids")
     p.add_argument("--sms", type=int, help="override SM count")
     p.add_argument("--nsu-mhz", type=float, help="override NSU clock")
     p.add_argument("--ro-cache", type=int,
@@ -226,6 +300,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="dump hierarchical component statistics")
     pr.add_argument("--trace", action="store_true",
                     help="print a Figure 6-style message timeline")
+    pr.add_argument("--metrics", metavar="OUT.jsonl",
+                    help="export a JSONL metrics stream (heartbeats, "
+                         "stall attribution, packet-kind counters)")
     pr.set_defaults(fn=cmd_run)
 
     ps = sub.add_parser("sweep")
@@ -239,6 +316,10 @@ def build_parser() -> argparse.ArgumentParser:
     pf = sub.add_parser("figure")
     pf.add_argument("number", type=int)
     pf.set_defaults(fn=cmd_figure)
+
+    pst = sub.add_parser("store")
+    pst.add_argument("action", choices=["ls", "clear"])
+    pst.set_defaults(fn=cmd_store)
 
     sub.add_parser("overhead").set_defaults(fn=cmd_overhead)
 

@@ -283,3 +283,18 @@ class NSU:
     @property
     def icache_utilization(self) -> float:
         return len(self.icache_touched) / self.icache_lines
+
+    def metrics_snapshot(self) -> dict:
+        """Counters/gauges published into the metrics registry."""
+        return {
+            "warps": len(self.warps),
+            "ready": len(self.ready),
+            "cmd_queue": len(self.cmd_queue),
+            "read_buf": len(self.read_buf),
+            "read_buf_peak": self.read_buf.peak,
+            "wta_buf": len(self.wta_buf),
+            "wta_buf_peak": self.wta_buf.peak,
+            "instructions": self.instructions,
+            "cmds_received": self.cmds_received,
+            "avg_occupancy": self.avg_occupancy,
+        }

@@ -71,6 +71,18 @@ class NDPStats:
     pending_peak: int = 0
     pending_rejects: int = 0
 
+    def packet_counts(self) -> dict[str, int]:
+        """Packet counts keyed by the MessageTrace kind names."""
+        return {
+            "CMD": self.offloads,
+            "ACK": self.acks,
+            "RDF": self.rdf_packets - self.rdf_hits,
+            "RDF_HIT_RESP": self.rdf_hits,
+            "WTA": self.wta_packets,
+            "WRITE": self.ndp_writes,
+            "INV": self.invalidations_sent,
+        }
+
 
 class NDPController:
     """One controller per GPU; owns the credit manager and packet plumbing."""
@@ -101,6 +113,16 @@ class NDPController:
         self._uid_counter = 0
         # Optional packet-level tracing (repro.sim.tracing.MessageTrace).
         self.trace = None
+
+    def metrics_snapshot(self) -> dict:
+        """Counters/gauges published into the metrics registry."""
+        return {
+            "packets": self.stats.packet_counts(),
+            "pending_total": sum(self.pending),
+            "pending_peak": self.stats.pending_peak,
+            "pending_rejects": self.stats.pending_rejects,
+            "wta_inflight": sum(self.wta_inflight),
+        }
 
     def set_code_layout(self, blocks) -> None:
         """Lay the NSU code for each block out in I-cache lines.

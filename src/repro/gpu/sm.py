@@ -186,6 +186,20 @@ class SM:
         return bool(self.ready) or (
             bool(self.pending_traces) and len(self.warps) < self.warps_per_sm)
 
+    def metrics_snapshot(self) -> dict:
+        """Counters/gauges published into the metrics registry."""
+        return {
+            "live_warps": len(self.warps),
+            "ready_warps": len(self.ready),
+            "pending_traces": len(self.pending_traces),
+            "instructions": self.instructions,
+            "offloads": self.offloads,
+            "inlines": self.inlines,
+            "stall_exec_unit_busy": self.stalls.exec_unit_busy,
+            "stall_dependency": self.stalls.dependency_stall,
+            "stall_warp_idle": self.stalls.warp_idle,
+        }
+
     # -- instruction execution ---------------------------------------------------
 
     def _try_issue(self, warp: Warp) -> str:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 
-from repro.gpu.trace import DynBlock, WarpTrace
+from repro.gpu.trace import WarpTrace
 
 #: Sentinel ready-cycle for registers whose producer completion time is
 #: unknown (outstanding loads, offload ACKs).

@@ -19,7 +19,7 @@ overhead (Section 3.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.config import REG_SIZE
 from repro.isa.instructions import Instr, Opcode, OFFLOADABLE

@@ -26,7 +26,6 @@ from repro.isa.analyzer import (
     live_in_regs,
     live_out_regs,
     _later_reads,
-    _nsu_side_indices,
 )
 from repro.isa.instructions import Instr, Opcode
 from repro.isa.kernel import Kernel

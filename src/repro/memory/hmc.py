@@ -72,6 +72,14 @@ class HMCStack:
     def queue_occupancy(self) -> int:
         return sum(len(v.queue) for v in self.vaults)
 
+    def metrics_snapshot(self) -> dict:
+        """Counters/gauges published into the metrics registry."""
+        snap = self.stats.metrics_snapshot()
+        snap["queue_occupancy"] = self.queue_occupancy
+        snap["max_vault_queue"] = max(
+            (len(v.queue) for v in self.vaults), default=0)
+        return snap
+
     def peak_bandwidth_bytes_per_cycle(self) -> float:
         """Aggregate vault-bus bandwidth (the stack's peak DRAM bandwidth)."""
         per_vault = LINE_SIZE / max(self.timing.tCCD, self.timing.burst)

@@ -45,6 +45,13 @@ class DRAMStats:
         total = self.row_hits + self.row_misses
         return self.row_hits / total if total else 0.0
 
+    def metrics_snapshot(self) -> dict:
+        """Counters published into the metrics registry."""
+        return {"reads": self.reads, "writes": self.writes,
+                "activations": self.activations,
+                "row_hits": self.row_hits, "row_misses": self.row_misses,
+                "queue_peak": self.queue_peak, "refreshes": self.refreshes}
+
 
 @dataclass
 class DRAMRequest:

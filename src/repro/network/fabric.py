@@ -70,6 +70,15 @@ class MemoryNetwork:
     def total_bytes(self) -> int:
         return sum(l.bytes_sent for l in self._links.values())
 
+    def metrics_snapshot(self) -> dict:
+        """Counters/gauges published into the metrics registry."""
+        links = self._links.values()
+        return {
+            "bytes": self.total_bytes(),
+            "packets": sum(l.packets_sent for l in links),
+            "max_queue_delay": max((l.queue_delay for l in links), default=0),
+        }
+
 
 class GPULinks:
     """The GPU's off-chip links, one bidirectional link per HMC.
@@ -116,3 +125,13 @@ class GPULinks:
 
     def total_bytes(self) -> int:
         return self.bytes_down() + self.bytes_up()
+
+    def metrics_snapshot(self) -> dict:
+        """Counters/gauges published into the metrics registry."""
+        links = self.down + self.up
+        return {
+            "bytes_down": self.bytes_down(),
+            "bytes_up": self.bytes_up(),
+            "packets": sum(l.packets_sent for l in links),
+            "max_queue_delay": max((l.queue_delay for l in links), default=0),
+        }

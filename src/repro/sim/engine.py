@@ -64,6 +64,11 @@ class Engine:
     def pending(self) -> int:
         return len(self._events)
 
+    def metrics_snapshot(self) -> dict:
+        """Counters/gauges published into the metrics registry."""
+        return {"cycle": self.now, "pending_events": self.pending,
+                "events_processed": self.events_processed}
+
     def drain(self, limit_cycles: int = 10 ** 9) -> None:
         """Advance time event-to-event until the queue is empty (tests)."""
         deadline = self.now + limit_cycles

@@ -54,29 +54,54 @@ def make_config(name: str, base: SystemConfig | None = None) -> SystemConfig:
 EPOCH_BY_SCALE = {"ci": 400, "bench": 1000, "paper": 2500}
 
 
-def run_workload(workload: str | WorkloadModel, config_name: str,
-                 *, base: SystemConfig | None = None,
-                 scale="ci",
-                 max_cycles: int = 20_000_000) -> RunResult:
-    """Build the system + workload and simulate to completion.
-
-    ``scale`` is a preset name ("ci"/"bench"/"paper") or a custom
-    :class:`~repro.workloads.Scale`.
-    """
+def scaled_config(config_name: str, base: SystemConfig | None,
+                  scale) -> SystemConfig:
+    """Resolve a named variant and match its epoch length to the scale."""
     import dataclasses
 
-    model = (get_workload(workload) if isinstance(workload, str)
-             else workload)
     cfg = make_config(config_name, base)
     scale_name = scale if isinstance(scale, str) else scale.name
     epoch = EPOCH_BY_SCALE.get(scale_name)
     if epoch is not None and cfg.ndp.epoch_cycles != epoch:
         cfg = dataclasses.replace(
             cfg, ndp=dataclasses.replace(cfg.ndp, epoch_cycles=epoch))
-    system = System(cfg, config_name=config_name)
+    return cfg
+
+
+def build_system(workload: str | WorkloadModel, config_name: str,
+                 *, base: SystemConfig | None = None, scale="ci",
+                 metrics=None) -> System:
+    """Assemble a ready-to-run system with its workload loaded.
+
+    ``metrics`` is an optional :class:`~repro.sim.metrics.MetricsRegistry`
+    the system will publish heartbeats and a summary into.
+    """
+    model = (get_workload(workload) if isinstance(workload, str)
+             else workload)
+    cfg = scaled_config(config_name, base, scale)
+    system = System(cfg, config_name=config_name, metrics=metrics)
     instance = model.build(cfg, scale)
     system.set_code_layout(instance.blocks)
     system.load_workload(instance.name, instance.traces)
+    if metrics is not None:
+        metrics.meta.update({
+            "workload": instance.name, "config": config_name,
+            "scale": scale if isinstance(scale, str) else scale.name})
+    return system
+
+
+def run_workload(workload: str | WorkloadModel, config_name: str,
+                 *, base: SystemConfig | None = None,
+                 scale="ci",
+                 max_cycles: int = 20_000_000,
+                 metrics=None) -> RunResult:
+    """Build the system + workload and simulate to completion.
+
+    ``scale`` is a preset name ("ci"/"bench"/"paper") or a custom
+    :class:`~repro.workloads.Scale`.
+    """
+    system = build_system(workload, config_name, base=base, scale=scale,
+                          metrics=metrics)
     return system.run(max_cycles=max_cycles)
 
 

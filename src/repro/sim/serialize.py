@@ -23,7 +23,10 @@ def result_from_dict(d: dict) -> RunResult:
     d = dict(d)
     d["stalls"] = StallBreakdown(**d["stalls"])
     d["traffic"] = TrafficBytes(**d["traffic"])
-    return RunResult(**d)
+    # Tolerate fields added by newer code: archived results (and store
+    # entries written before a field was removed) still load.
+    known = {f.name for f in dataclasses.fields(RunResult)}
+    return RunResult(**{k: v for k, v in d.items() if k in known})
 
 
 def dump_results(results: dict[str, RunResult] | list[RunResult],

@@ -27,11 +27,18 @@ class SimulationTimeout(RuntimeError):
 
 
 class System:
-    """A complete simulated node: GPU + stacks + network + NDP."""
+    """A complete simulated node: GPU + stacks + network + NDP.
 
-    def __init__(self, cfg: SystemConfig, *, config_name: str = "") -> None:
+    Pass ``metrics`` (a :class:`~repro.sim.metrics.MetricsRegistry`) to
+    sample component counters on a heartbeat cadence during :meth:`run`
+    and publish a structured summary at the end.
+    """
+
+    def __init__(self, cfg: SystemConfig, *, config_name: str = "",
+                 metrics=None) -> None:
         self.cfg = cfg
         self.config_name = config_name or cfg.ndp.mode
+        self.metrics = metrics
         self.engine = Engine()
         self.counters = LinkCounters()
         self.amap = AddressMap(cfg)
@@ -73,6 +80,8 @@ class System:
                           for _ in self.nsus]
         self.workload_name = ""
         self._epoch_log: list[tuple[int, float]] = []
+        from repro.sim.metrics import PhaseCycles
+        self.phases = PhaseCycles()
 
     # -- workload loading ----------------------------------------------------------
 
@@ -110,6 +119,9 @@ class System:
         # steady state and don't need this).
         active_integral = 0
         prev_active_integral = 0
+        metrics = self.metrics
+        next_heartbeat = (engine.now + metrics.heartbeat_cycles
+                          if metrics is not None else None)
 
         while True:
             engine.process_due()
@@ -118,6 +130,7 @@ class System:
                 sm.tick()
                 live += sm.live_warps
             active_integral += live
+            self.phases.stepped += 1
             for nsu, acc in zip(nsus, accs):
                 for _ in range(acc.step()):
                     nsu.tick()
@@ -131,7 +144,12 @@ class System:
                 last_epoch_at = engine.now
                 self.decider.end_epoch(ipc)
                 self._epoch_log.append((engine.now, self.decider.ratio))
+                self.phases.epochs += 1
                 next_epoch = engine.now + epoch
+
+            if next_heartbeat is not None and engine.now >= next_heartbeat:
+                self._publish_heartbeat()
+                next_heartbeat = engine.now + metrics.heartbeat_cycles
 
             if self._finished():
                 break
@@ -157,9 +175,92 @@ class System:
                         if idle_cycles:
                             nsu.account_idle(idle_cycles)
                     engine.now = nt - 1
+                    self.phases.fast_forwarded += skip
             engine.now += 1
 
         return self._collect()
+
+    # -- metrics publishing --------------------------------------------------
+
+    def _publish_heartbeat(self) -> None:
+        """Sample every component's counters into the metrics registry."""
+        m = self.metrics
+        self.phases.heartbeats += 1
+        sm_snaps = [sm.metrics_snapshot() for sm in self.sms]
+        live = sum(s["live_warps"] for s in sm_snaps)
+        ready = sum(s["ready_warps"] for s in sm_snaps)
+        vault_q = [h.queue_occupancy for h in self.hmcs]
+        nsu_snaps = [n.metrics_snapshot() for n in self.nsus]
+        gauges = {
+            "sm.live_warps": live,
+            "sm.ready_warps": ready,
+            "vault.queue_total": sum(vault_q),
+            "vault.queue_max": max(vault_q, default=0),
+            "engine.pending_events": self.engine.pending,
+            "gpu_link.max_queue_delay":
+                self.gpu_links.metrics_snapshot()["max_queue_delay"],
+            "mem_net.max_queue_delay":
+                self.network.metrics_snapshot()["max_queue_delay"],
+        }
+        counters = {
+            "sm.instructions": sum(s["instructions"] for s in sm_snaps),
+            "stall.exec_unit_busy":
+                sum(s["stall_exec_unit_busy"] for s in sm_snaps),
+            "stall.dependency":
+                sum(s["stall_dependency"] for s in sm_snaps),
+            "stall.warp_idle": sum(s["stall_warp_idle"] for s in sm_snaps),
+            "traffic.gpu_link": self.counters.get("gpu_link"),
+            "traffic.mem_net": self.counters.get("mem_net"),
+            "traffic.intra_hmc": self.counters.get("intra_hmc"),
+        }
+        if nsu_snaps:
+            gauges["nsu.warps"] = sum(s["warps"] for s in nsu_snaps)
+            gauges["nsu.cmd_queue"] = sum(s["cmd_queue"] for s in nsu_snaps)
+            gauges["nsu.read_buf"] = sum(s["read_buf"] for s in nsu_snaps)
+            gauges["nsu.wta_buf"] = sum(s["wta_buf"] for s in nsu_snaps)
+            counters["nsu.instructions"] = sum(
+                s["instructions"] for s in nsu_snaps)
+        if self.ndp is not None:
+            for kind, n in self.ndp.stats.packet_counts().items():
+                counters[f"packets.{kind}"] = n
+        m.observe("vault.queue_occupancy", sum(vault_q))
+        m.observe("sm.live_warps", live)
+        if self.nsus:
+            m.observe("nsu.warps", gauges["nsu.warps"])
+        m.set_counters(counters)
+        m.heartbeat(self.engine.now, gauges, counters)
+
+    def _publish_summary(self, res: RunResult) -> None:
+        """Final counters + the structured summary record."""
+        m = self.metrics
+        self.phases.events = self.engine.events_processed
+        stalls = res.stalls.as_dict()
+        packets = (self.ndp.stats.packet_counts() if self.ndp is not None
+                   else {})
+        m.set_counters({
+            "sm.instructions": res.instructions,
+            "nsu.instructions": res.nsu_instructions,
+            "warps.completed": res.warps_completed,
+            "stall.exec_unit_busy": res.stalls.exec_unit_busy,
+            "stall.dependency": res.stalls.dependency_stall,
+            "stall.warp_idle": res.stalls.warp_idle,
+            "dram.activations": res.dram_activations,
+            "l2.misses": res.l2_misses,
+        })
+        m.set_counters({f"traffic.{k}": v
+                        for k, v in res.traffic.as_dict().items()})
+        m.set_counters({f"packets.{k}": v for k, v in packets.items()})
+        m.meta.setdefault("workload", res.workload)
+        m.meta.setdefault("config", res.config_name)
+        m.record("summary", cycle=self.engine.now, stalls=stalls,
+                 packets=packets, traffic=res.traffic.as_dict(),
+                 phases=self.phases.as_dict(),
+                 dram={"activations": res.dram_activations,
+                       "reads": res.dram_reads, "writes": res.dram_writes},
+                 hmc=[h.metrics_snapshot() for h in self.hmcs],
+                 gpu_links=self.gpu_links.metrics_snapshot(),
+                 mem_net=self.network.metrics_snapshot(),
+                 engine=self.engine.metrics_snapshot())
 
     def _finished(self) -> bool:
         if self.engine.pending:
@@ -223,4 +324,6 @@ class System:
                 "final_ratio": getattr(self.decider, "ratio", None),
             },
         )
+        if self.metrics is not None:
+            self._publish_summary(res)
         return res

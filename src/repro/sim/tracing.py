@@ -67,11 +67,24 @@ class MessageTrace:
                          f"{e.size:4d} B{extra}")
         return "\n".join(lines)
 
+    @property
+    def truncated(self) -> bool:
+        return self.dropped > 0
+
     def summary(self) -> dict[str, tuple[int, int]]:
-        """kind -> (count, total bytes)."""
+        """kind -> (count, total bytes).
+
+        When the ``max_events`` bound was hit, a ``DROPPED`` pseudo-kind
+        reports how many events were discarded (with 0 bytes, since
+        dropped events are not measured) so truncated timelines are never
+        mistaken for complete ones.
+        """
         out: dict[str, list[int]] = {}
         for e in self.events:
             c = out.setdefault(e.kind, [0, 0])
             c[0] += 1
             c[1] += e.size
-        return {k: (v[0], v[1]) for k, v in out.items()}
+        result = {k: (v[0], v[1]) for k, v in out.items()}
+        if self.dropped:
+            result["DROPPED"] = (self.dropped, 0)
+        return result

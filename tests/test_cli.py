@@ -59,6 +59,17 @@ class TestParser:
         assert a.ro_cache == 4096
         assert a.target_policy == "optimal"
 
+    def test_store_flags_parsed(self):
+        p = build_parser()
+        a = p.parse_args(["--store", "/tmp/x", "--parallel", "4",
+                          "store", "ls"])
+        assert a.store == "/tmp/x"
+        assert a.parallel == 4
+        assert a.action == "ls"
+        b = p.parse_args(["--no-store", "run", "VADD", "Baseline",
+                          "--metrics", "out.jsonl"])
+        assert b.no_store and b.metrics == "out.jsonl"
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -92,3 +103,57 @@ class TestCommands:
         assert main(["--scale", "ci", "run", "VADD", "Baseline"]) == 0
         out = capsys.readouterr().out
         assert "cycles" in out and "energy" in out
+
+
+class TestStoreCommands:
+    @pytest.fixture(autouse=True)
+    def _no_env_store(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+
+    def test_store_requires_configuration(self, capsys):
+        assert main(["store", "ls"]) == 2
+        assert "no store configured" in capsys.readouterr().err
+
+    def test_run_populates_then_hits_store(self, tmp_path, capsys):
+        argv = ["--scale", "ci", "--store", str(tmp_path),
+                "run", "VADD", "Baseline"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "[store] hit" not in first
+
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "[store] hit" in second
+        # Identical summaries whichever path produced the result.
+        assert first.splitlines()[-12:] == second.splitlines()[-12:]
+
+    def test_store_ls_and_clear(self, tmp_path, capsys):
+        main(["--scale", "ci", "--store", str(tmp_path),
+              "run", "VADD", "Baseline"])
+        capsys.readouterr()
+        assert main(["--store", str(tmp_path), "store", "ls"]) == 0
+        out = capsys.readouterr().out
+        assert "VADD" in out and "1 entries" in out
+        assert main(["--store", str(tmp_path), "store", "clear"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+
+    def test_no_store_bypasses_env(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path))
+        main(["--scale", "ci", "run", "VADD", "Baseline"])
+        capsys.readouterr()
+        assert main(["--scale", "ci", "--no-store",
+                     "run", "VADD", "Baseline"]) == 0
+        assert "[store] hit" not in capsys.readouterr().out
+
+    def test_run_metrics_export(self, tmp_path, capsys):
+        out_path = tmp_path / "m.jsonl"
+        assert main(["--scale", "ci", "run", "VADD", "NDP(Dyn)",
+                     "--metrics", str(out_path)]) == 0
+        assert "metrics records" in capsys.readouterr().out
+        import json
+
+        recs = [json.loads(x) for x in out_path.read_text().splitlines()]
+        assert recs[0]["kind"] == "meta"
+        assert recs[-1]["kind"] == "summary"
+        assert "packets.CMD" in recs[-1]["counters"]
+        assert "stall.dependency" in recs[-1]["counters"]

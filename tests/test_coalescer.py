@@ -1,7 +1,6 @@
 """Unit tests for the memory coalescer."""
 
 import numpy as np
-import pytest
 
 from repro.config import LINE_SIZE, WORD_SIZE
 from repro.gpu.coalescer import MemAccess, access_stats, coalesce

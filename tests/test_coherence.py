@@ -1,7 +1,6 @@
 """Unit tests for invalidation coherence and the page-migration guard
 (Sections 4.2 and 4.1.1)."""
 
-import pytest
 
 from repro.config import ci_config
 from repro.core.coherence import PageMigrationGuard

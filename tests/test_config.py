@@ -1,7 +1,6 @@
 """Unit tests for the system configuration (Table 2 values, derived
 rates, and variant constructors)."""
 
-import dataclasses
 
 import pytest
 

@@ -1,12 +1,10 @@
 """Unit tests for offload-block extraction and Eq. (1) scoring."""
 
-import pytest
 
 from repro.config import REG_SIZE
 from repro.isa import (
     BasicBlock,
     Kernel,
-    Opcode,
     address_calc_indices,
     alu,
     analyze_kernel,

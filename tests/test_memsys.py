@@ -1,6 +1,5 @@
 """Unit tests for the GPU memory hierarchy glue (repro.sim.memsys)."""
 
-import pytest
 
 from repro.config import LINE_SIZE, ci_config
 from repro.gpu.coalescer import MemAccess

@@ -1,0 +1,169 @@
+"""Tests for the metrics registry, JSONL export and system publishing."""
+
+import json
+
+import pytest
+
+from repro.config import ci_config
+from repro.sim.metrics import (SCHEMA_VERSION, Counter, Histogram,
+                               MetricsRegistry, PhaseCycles, read_jsonl)
+from repro.sim.runner import run_workload
+
+
+class TestCounter:
+    def test_add(self):
+        c = Counter("x")
+        c.add()
+        c.add(4)
+        assert c.value == 5
+
+    def test_set_never_moves_backwards(self):
+        c = Counter("x")
+        c.set(10)
+        c.set(3)
+        assert c.value == 10
+        c.set(12)
+        assert c.value == 12
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        h = Histogram("q", bounds=(0, 2, 4))
+        for v in (0, 1, 2, 3, 4, 99):
+            h.observe(v)
+        assert h.buckets == [1, 2, 2, 1]   # <=0, <=2, <=4, overflow
+        assert h.count == 6
+        assert h.max == 99
+
+    def test_mean(self):
+        h = Histogram("q")
+        assert h.mean == 0.0
+        h.observe(2)
+        h.observe(4)
+        assert h.mean == 3.0
+
+    def test_as_dict(self):
+        h = Histogram("q", bounds=(1,))
+        h.observe(1)
+        d = h.as_dict()
+        assert d["count"] == 1 and d["buckets"] == [1, 0]
+
+
+class TestRegistry:
+    def test_counter_handles_are_shared(self):
+        m = MetricsRegistry()
+        m.counter("a").add(2)
+        m.counter("a").add(3)
+        assert m.snapshot()["counters"]["a"] == 5
+
+    def test_set_counters_prefix(self):
+        m = MetricsRegistry()
+        m.set_counters({"reads": 7, "writes": 2}, prefix="vault.")
+        assert m.snapshot()["counters"] == {"vault.reads": 7,
+                                            "vault.writes": 2}
+
+    def test_record_order(self):
+        m = MetricsRegistry()
+        m.heartbeat(100, gauges={"warps": 3})
+        recs = m.to_records()
+        assert recs[0]["kind"] == "meta"
+        assert recs[0]["schema_version"] == SCHEMA_VERSION
+        assert recs[1]["kind"] == "heartbeat"
+        assert recs[-1]["kind"] == "summary"
+
+    def test_summary_record_is_merged(self):
+        m = MetricsRegistry()
+        m.counter("n").add(1)
+        m.record("summary", stalls={"MemDataBuf": 4})
+        recs = m.to_records()
+        assert [r["kind"] for r in recs] == ["meta", "summary"]
+        assert recs[-1]["stalls"] == {"MemDataBuf": 4}
+        assert recs[-1]["counters"]["n"] == 1
+
+    def test_jsonl_round_trip(self, tmp_path):
+        m = MetricsRegistry()
+        m.meta["workload"] = "VADD"
+        m.heartbeat(10, gauges={"q": 1}, counters={"c": 2})
+        path = tmp_path / "out.jsonl"
+        n = m.export_jsonl(path)
+        back = read_jsonl(path)
+        assert len(back) == n == 3
+        assert back[0]["workload"] == "VADD"
+        assert back[1]["gauges"] == {"q": 1}
+
+
+class TestSystemPublishing:
+    @pytest.fixture(scope="class")
+    def run(self):
+        m = MetricsRegistry(heartbeat_cycles=200)
+        r = run_workload("VADD", "NDP(Dyn)", base=ci_config(), scale="ci",
+                         metrics=m)
+        return m, r
+
+    def test_meta_identifies_the_run(self, run):
+        m, _ = run
+        recs = m.to_records()
+        assert recs[0]["workload"] == "VADD"
+        assert recs[0]["config"] == "NDP(Dyn)"
+        assert recs[0]["scale"] == "ci"
+
+    def test_heartbeats_emitted(self, run):
+        m, r = run
+        hbs = m.heartbeats
+        assert hbs, "a multi-hundred-cycle run must heartbeat at 200 cycles"
+        for hb in hbs:
+            assert 0 < hb["cycle"] <= r.cycles + m.heartbeat_cycles
+            assert "gauges" in hb and "counters" in hb
+        cycles = [hb["cycle"] for hb in hbs]
+        assert cycles == sorted(cycles)
+
+    def test_summary_has_stall_attribution(self, run):
+        m, r = run
+        summary = m.to_records()[-1]
+        assert summary["kind"] == "summary"
+        assert summary["stalls"] == r.stalls.as_dict()
+        for k in ("stall.dependency", "stall.exec_unit_busy",
+                  "stall.warp_idle"):
+            assert k in summary["counters"]
+
+    def test_summary_has_packet_kinds(self, run):
+        m, _ = run
+        summary = m.to_records()[-1]
+        packets = summary["packets"]
+        assert packets["CMD"] > 0
+        assert packets["ACK"] == packets["CMD"]
+        assert "RDF" in packets and "WTA" in packets
+        assert summary["counters"]["packets.CMD"] == packets["CMD"]
+
+    def test_summary_phase_accounting(self, run):
+        m, r = run
+        phases = m.to_records()[-1]["phases"]
+        assert phases["total"] == phases["stepped"] + phases["fast_forwarded"]
+        # The loop counts iterations, so the total can lead the final
+        # cycle count by at most one step.
+        assert r.cycles <= phases["total"] <= r.cycles + 1
+
+    def test_export_is_parseable_jsonl(self, run, tmp_path):
+        m, _ = run
+        path = tmp_path / "m.jsonl"
+        m.export_jsonl(path)
+        with open(path) as f:
+            lines = [json.loads(x) for x in f if x.strip()]
+        assert lines[0]["kind"] == "meta"
+        assert lines[-1]["kind"] == "summary"
+
+    def test_baseline_run_publishes_without_ndp(self):
+        m = MetricsRegistry(heartbeat_cycles=200)
+        run_workload("VADD", "Baseline", base=ci_config(), scale="ci",
+                     metrics=m)
+        summary = m.to_records()[-1]
+        assert summary["packets"] == {}
+        assert "stall.dependency" in summary["counters"]
+
+
+class TestPhaseCycles:
+    def test_as_dict_total(self):
+        p = PhaseCycles(stepped=10, fast_forwarded=5, epochs=2)
+        d = p.as_dict()
+        assert d["total"] == 15
+        assert d["epochs"] == 2

@@ -1,10 +1,9 @@
 """Unit tests for the NSU model (repro.core.nsu) driven directly through
 a stub controller."""
 
-import pytest
 
 from repro.config import ci_config
-from repro.core.nsu import NSU, NSU_INSTR_BYTES, READ_BUFFER_LATENCY
+from repro.core.nsu import NSU
 from repro.gpu.coalescer import MemAccess
 from repro.isa import BasicBlock, Kernel, alu, analyze_kernel, ld, st
 from repro.sim.engine import Engine

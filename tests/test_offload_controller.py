@@ -1,6 +1,5 @@
 """Targeted tests for the GPU-side NDP controller (repro.core.offload)."""
 
-import pytest
 
 from repro.config import LINE_SIZE, ci_config
 from repro.core.target_select import first_instr_target

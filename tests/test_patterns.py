@@ -4,7 +4,7 @@
 import numpy as np
 import pytest
 
-from repro.config import LINE_SIZE, WORD_SIZE
+from repro.config import WORD_SIZE
 from repro.gpu.coalescer import coalesce
 from repro.workloads.base import ArrayLayout, MemCtx, Scale
 from repro.workloads.patterns import (

@@ -3,7 +3,6 @@ the analyzer; random request mixes through the vault scheduler."""
 
 import dataclasses
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.config import SystemConfig

@@ -2,9 +2,8 @@
 
 import dataclasses
 
-import pytest
 
-from repro.config import DRAMTiming, SystemConfig, ci_config
+from repro.config import SystemConfig, ci_config
 from repro.memory.dram import DRAMTimingSM
 from repro.memory.vault import DRAMRequest, DRAMStats, VaultController
 from repro.sim.engine import Engine

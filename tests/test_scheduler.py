@@ -5,13 +5,12 @@ import dataclasses
 import pytest
 
 from repro.config import ci_config
-from repro.gpu.coalescer import MemAccess
+
 from repro.gpu.sm import SM
 from repro.gpu.trace import DynInstr
-from repro.isa import alu, ld
+from repro.isa import alu
 from repro.sim.engine import Engine
 from repro.sim.runner import run_workload
-
 
 class RecordingMemSys:
     def __init__(self, engine, latency=10):
@@ -25,12 +24,10 @@ class RecordingMemSys:
     def store(self, sm, access):
         return True
 
-
 def mk_sm(engine, scheduler):
     return SM(engine, 0, warps_per_sm=4, alu_latency=4,
               max_inflight_loads=4, memsys=RecordingMemSys(engine),
               scheduler=scheduler)
-
 
 def drive(engine, sm, record):
     while not sm.done and engine.now < 10_000:
@@ -42,10 +39,8 @@ def drive(engine, sm, record):
                 record.append(w.wid)
         engine.now += 1
 
-
 def alu_trace(n=8):
     return [DynInstr(alu(100 + i, 0)) for i in range(n)]
-
 
 class TestPolicies:
     def test_invalid_scheduler_rejected(self):
@@ -80,7 +75,6 @@ class TestPolicies:
             drive(e, sm, [])
             assert sm.warps_completed == 3
             assert sm.instructions == 24
-
 
 class TestEndToEnd:
     def test_scheduler_config_flows_through(self):

@@ -1,15 +1,12 @@
 """Unit tests for the SM issue engine against a scriptable fake memory
 system (no caches/DRAM -- pure latency/reject control)."""
 
-import pytest
-
 from repro.gpu.coalescer import MemAccess
 from repro.gpu.sm import SM
 from repro.gpu.trace import DynInstr
-from repro.gpu.warp import WarpState
+
 from repro.isa import alu, ld, sfu, st
 from repro.sim.engine import Engine
-
 
 class FakeMemSys:
     """Loads complete after a fixed latency; optional reject budget."""
@@ -36,10 +33,8 @@ class FakeMemSys:
         self.stores.append(access)
         return True
 
-
 def acc(line=0, words=32):
     return MemAccess(line, words, False)
-
 
 def mk_sm(engine, **kw):
     mem = FakeMemSys(engine, **kw)
@@ -47,14 +42,12 @@ def mk_sm(engine, **kw):
             max_inflight_loads=2, memsys=mem)
     return sm, mem
 
-
 def drive(engine, sm, max_cycles=10_000):
     while not sm.done and engine.now < max_cycles:
         engine.process_due()
         sm.tick()
         engine.now += 1
     assert sm.done, "SM did not finish"
-
 
 class TestBasicIssue:
     def test_alu_chain_respects_latency(self):
@@ -125,7 +118,6 @@ class TestBasicIssue:
         drive(e, sm1)
         assert sm1.stalls.dependency_stall >= 12
 
-
 class TestStructuralReplay:
     def test_rejected_load_retries_and_completes(self):
         e = Engine()
@@ -155,7 +147,6 @@ class TestStructuralReplay:
         sm.assign([trace])
         drive(e, sm)
         assert sorted(a.line_addr for a in mem.stores) == [0, 1, 2, 3]
-
 
 class TestSchedulingAndOccupancy:
     def test_warp_slots_limit_concurrency(self):

@@ -1,6 +1,5 @@
 """Tests for the hierarchical statistics dump."""
 
-import pytest
 
 from repro.analysis.statsdump import dump_stats
 from repro.config import ci_config

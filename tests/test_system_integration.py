@@ -8,8 +8,8 @@ live in benchmarks/, at a larger scale).
 
 import pytest
 
-from repro.config import OffloadMode, ci_config
-from repro.sim.runner import make_config, run_sweep, run_workload
+from repro.config import ci_config
+from repro.sim.runner import make_config, run_workload
 from repro.sim.system import System
 from repro.workloads import get_workload
 

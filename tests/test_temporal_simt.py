@@ -1,6 +1,5 @@
 """Tests for the temporal-SIMT NSU datapath option (Section 4.5)."""
 
-import pytest
 
 from repro.config import ci_config
 from repro.sim.runner import run_workload

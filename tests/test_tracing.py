@@ -5,7 +5,7 @@ import pytest
 from repro.config import ci_config
 from repro.sim.runner import make_config
 from repro.sim.system import System
-from repro.sim.tracing import MessageTrace, TraceEvent
+from repro.sim.tracing import MessageTrace
 from repro.workloads import get_workload
 
 
@@ -35,6 +35,15 @@ class TestMessageTrace:
         t.record(1, "CMD", "gpu", "hmc1", 28)
         t.record(2, "ACK", "hmc0", "gpu", 16)
         assert t.summary() == {"CMD": (2, 56), "ACK": (1, 16)}
+        assert not t.truncated
+
+    def test_summary_reports_dropped(self):
+        t = MessageTrace(max_events=1)
+        t.record(0, "CMD", "gpu", "hmc0", 28)
+        t.record(1, "ACK", "hmc0", "gpu", 16)
+        t.record(2, "ACK", "hmc0", "gpu", 16)
+        assert t.truncated
+        assert t.summary() == {"CMD": (1, 28), "DROPPED": (2, 0)}
 
     def test_timeline_empty(self):
         t = MessageTrace()

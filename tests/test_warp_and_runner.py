@@ -12,7 +12,6 @@ from repro.sim.runner import (
     config_variants,
     make_config,
     run_sweep,
-    run_workload,
 )
 
 

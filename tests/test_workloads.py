@@ -1,7 +1,6 @@
 """Unit tests for the workload models: Table 1 counts and the address
 properties that drive each workload's paper behaviour."""
 
-import numpy as np
 import pytest
 
 from repro.config import LINE_SIZE, ci_config
