@@ -11,13 +11,17 @@ Commands
 * ``report``                            -- the full paper-vs-measured report
 * ``store ls|clear``                    -- inspect the persistent store
 * ``overhead``                          -- §7.5 hardware overhead
+* ``chaos``                             -- fault-rate degradation sweep
 
 Common flags: ``--scale ci|bench|paper``, ``--workloads A,B,...``,
 ``--store DIR`` / ``--no-store`` (persistent result cache, default from
 ``$REPRO_STORE``), ``--parallel N`` (process-pool sweeps), ``--sms N``,
 ``--nsu-mhz F``, ``--ro-cache BYTES``, ``--target-policy first|optimal``.
-``run`` additionally accepts ``--stats``, ``--trace`` and
-``--metrics OUT.jsonl`` (see docs/observability.md).
+``run`` additionally accepts ``--stats``, ``--trace``,
+``--metrics OUT.jsonl`` (see docs/observability.md) and
+``--faults SCENARIO --fault-rate R --fault-seed S`` (deterministic fault
+injection, see docs/fault-injection.md); ``chaos`` sweeps a scenario over
+fault rates x configurations and prints a degradation table.
 """
 
 from __future__ import annotations
@@ -47,6 +51,21 @@ def _base_config(args):
     if args.target_policy:
         cfg = cfg.with_target_policy(args.target_policy)
     return cfg
+
+
+def _fault_plan(args):
+    """The FaultPlan selected by ``--faults``/``--fault-rate``/``--fault-seed``
+    (None when fault injection is off)."""
+    name = getattr(args, "faults", None)
+    if not name:
+        return None
+    from repro.faults import get_scenario, scenario_names
+
+    if name not in scenario_names():
+        print(f"unknown fault scenario {name!r}; choose from "
+              f"{', '.join(scenario_names())}", file=sys.stderr)
+        raise SystemExit(2)
+    return get_scenario(name, rate=args.fault_rate, seed=args.fault_seed)
 
 
 def _store(args) -> ResultStore | None:
@@ -85,7 +104,10 @@ def cmd_list(args) -> int:
 def cmd_run(args) -> int:
     cfg = _base_config(args)
     store = _store(args)
-    instrumented = args.stats or args.trace or args.metrics
+    plan = _fault_plan(args)
+    # Faulted runs never touch the plain store: their results depend on
+    # the plan, and the chaos command owns plan-salted caching.
+    instrumented = args.stats or args.trace or args.metrics or plan
     key = cell_key(args.workload, args.config, cfg, args.scale, 20_000_000)
     r = None
     if store is not None and not instrumented:
@@ -108,15 +130,27 @@ def cmd_run(args) -> int:
                 return 2
             registry = MetricsRegistry()
         system = build_system(args.workload, args.config, base=cfg,
-                              scale=args.scale, metrics=registry)
+                              scale=args.scale, metrics=registry,
+                              faults=plan)
         trace = None
         if args.trace and system.ndp is not None:
             from repro.sim.tracing import MessageTrace
 
             trace = MessageTrace()
             system.ndp.trace = trace
-        r = system.run()
-        if store is not None:
+        from repro.sim.system import SimulationTimeout
+
+        try:
+            r = system.run()
+        except SimulationTimeout as e:
+            print(f"FATAL: {e}", file=sys.stderr)
+            if plan is not None:
+                inj = system.fault_injector
+                print(f"  plan {plan.name} seed {plan.seed}: "
+                      f"{inj.total_fired} faults fired {inj.fired}",
+                      file=sys.stderr)
+            return 1
+        if store is not None and plan is None:
             store.put(key, r, meta={"scale": args.scale})
         if args.stats:
             from repro.analysis.statsdump import dump_stats
@@ -144,6 +178,14 @@ def cmd_run(args) -> int:
     for k, v in r.traffic.as_dict().items():
         print(f"  bytes {k:<14s} {v:>12,d}")
     print(f"  DRAM activations  {r.dram_activations:>12,d}")
+    if plan is not None:
+        fx = r.extra.get("faults", {})
+        print(f"  faults fired      {fx.get('total_fired', 0):>12,d}   "
+              f"(plan {plan.name}, seed {plan.seed})")
+        rec = {k: v for k, v in r.extra.get("recovery", {}).items() if v}
+        if rec:
+            print("  recovery          " + "  ".join(
+                f"{k}={v}" for k, v in sorted(rec.items())))
     e = compute_energy(r, make_config(args.config, cfg))
     for k, v in e.as_dict().items():
         print(f"  energy {k:<16s} {v / 1e6:>12.3f} mJ")
@@ -253,6 +295,96 @@ def cmd_figure(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Sweep a fault scenario's rate over a workload/config grid and print
+    a degradation table (outcome + slowdown per cell)."""
+    from repro.faults import get_scenario, scenario_names
+    from repro.sim.runner import build_system
+    from repro.sim.store import CODE_VERSION_SALT
+    from repro.sim.system import SimulationTimeout
+    from repro.sim.validate import audit_system
+
+    if args.scenario not in scenario_names():
+        print(f"unknown fault scenario {args.scenario!r}; choose from "
+              f"{', '.join(scenario_names())}", file=sys.stderr)
+        return 2
+    try:
+        rates = [float(x) for x in args.rates.split(",")]
+    except ValueError:
+        print(f"bad --rates {args.rates!r}: expected comma-separated floats",
+              file=sys.stderr)
+        return 2
+    configs = [c.strip() for c in args.configs.split(",") if c.strip()]
+    workloads = (args.workloads.split(",") if args.workloads else ["VADD"])
+    cfg = _base_config(args)
+    store = _store(args)
+    max_cycles = args.max_cycles
+    sims = hits = 0
+
+    def classify(system, result) -> str:
+        fired = result.extra.get("faults", {}).get("total_fired", 0)
+        if audit_system(system, result):
+            return "audit-fail"
+        return "recovered" if fired else "clean"
+
+    for w in workloads:
+        # Fault-free reference cycles per config (plain store key).
+        ref: dict[str, int] = {}
+        for c in configs:
+            key = cell_key(w, c, cfg, args.scale, max_cycles)
+            r = store.get(key) if store is not None else None
+            if r is None:
+                sims += 1
+                r = build_system(w, c, base=cfg,
+                                 scale=args.scale).run(max_cycles=max_cycles)
+                if store is not None:
+                    store.put(key, r, meta={"scale": args.scale})
+            else:
+                hits += 1
+            ref[c] = r.cycles
+
+        width = max(max(len(c) for c in configs), 17) + 2
+        print(f"\n{w} / {args.scenario} (seed {args.fault_seed}, "
+              f"scale {args.scale})")
+        print("  rate      " + "".join(f"{c:>{width}s}" for c in configs))
+        for rate in rates:
+            cells = []
+            for c in configs:
+                plan = get_scenario(args.scenario, rate=rate,
+                                    seed=args.fault_seed)
+                salt = f"{CODE_VERSION_SALT}|chaos|{plan.fingerprint()}"
+                key = cell_key(w, c, cfg, args.scale, max_cycles, salt=salt)
+                r = store.get(key) if store is not None else None
+                if r is not None:
+                    # Only audit-clean completions are ever cached.
+                    hits += 1
+                    fired = r.extra.get("faults", {}).get("total_fired", 0)
+                    outcome = "recovered" if fired else "clean"
+                else:
+                    sims += 1
+                    system = build_system(w, c, base=cfg, scale=args.scale,
+                                          faults=plan)
+                    try:
+                        r = system.run(max_cycles=max_cycles)
+                    except SimulationTimeout:
+                        r = None
+                        outcome = "fatal"
+                    else:
+                        outcome = classify(system, r)
+                        if store is not None and outcome != "audit-fail":
+                            store.put(key, r, meta={
+                                "scale": args.scale, "chaos": plan.name})
+                if r is None:
+                    cells.append("fatal")
+                else:
+                    cells.append(f"{outcome} x{r.cycles / ref[c]:.2f}")
+            print(f"  {rate:<8g}  " + "".join(
+                f"{cell:>{width}s}" for cell in cells))
+    print(f"\n[chaos] simulations: {sims}, store hits: {hits}"
+          + (f" ({store.root})" if store is not None else ""))
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.analysis.report import generate_report
 
@@ -303,6 +435,13 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--metrics", metavar="OUT.jsonl",
                     help="export a JSONL metrics stream (heartbeats, "
                          "stall attribution, packet-kind counters)")
+    pr.add_argument("--faults", metavar="SCENARIO",
+                    help="arm a named fault scenario (see docs/"
+                         "fault-injection.md); skips the result store")
+    pr.add_argument("--fault-rate", type=float, default=0.01,
+                    help="per-event fault probability (default 0.01)")
+    pr.add_argument("--fault-seed", type=int, default=0,
+                    help="fault plan seed (deterministic per seed)")
     pr.set_defaults(fn=cmd_run)
 
     ps = sub.add_parser("sweep")
@@ -322,6 +461,18 @@ def build_parser() -> argparse.ArgumentParser:
     pst.set_defaults(fn=cmd_store)
 
     sub.add_parser("overhead").set_defaults(fn=cmd_overhead)
+
+    pc = sub.add_parser("chaos")
+    pc.add_argument("--scenario", default="rdf-drop",
+                    help="named fault scenario (default rdf-drop)")
+    pc.add_argument("--rates", default="0,0.01,0.05",
+                    help="comma-separated fault rates (default 0,0.01,0.05)")
+    pc.add_argument("--configs", default="NDP(Dyn),NDP(Dyn)_Cache",
+                    help="comma-separated configuration names")
+    pc.add_argument("--fault-seed", type=int, default=0,
+                    help="fault plan seed (deterministic per seed)")
+    pc.add_argument("--max-cycles", type=int, default=20_000_000)
+    pc.set_defaults(fn=cmd_chaos)
 
     pre = sub.add_parser("report")
     pre.add_argument("-o", "--output", help="write markdown to a file")

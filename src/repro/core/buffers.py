@@ -79,6 +79,14 @@ class ReadDataBuffer:
             raise AssertionError(f"consuming incomplete read entry {key}")
         return e
 
+    def purge_uid(self, uid) -> int:
+        """Drop every entry of one offload instance (recovery abort).
+        Returns the number of entries removed."""
+        keys = [k for k in self._entries if k[0] == uid]
+        for k in keys:
+            del self._entries[k]
+        return len(keys)
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -110,6 +118,15 @@ class WriteAddressBuffer:
         if accesses is None:
             raise AssertionError(f"consuming missing WTA entry {key}")
         return accesses
+
+    def purge_uid(self, uid) -> list[MemAccess]:
+        """Drop every entry of one offload instance (recovery abort).
+        Returns the purged accesses so the controller can unwind its
+        in-flight WTA counters."""
+        out: list[MemAccess] = []
+        for k in [k for k in self._entries if k[0] == uid]:
+            out.extend(self._entries.pop(k))
+        return out
 
     def __len__(self) -> int:
         return len(self._entries)

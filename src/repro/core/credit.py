@@ -66,6 +66,7 @@ class BufferCreditManager:
                  cmd_entries: int, read_data_entries: int,
                  write_addr_entries: int) -> None:
         self.engine = engine
+        self.faults = None   # armed by the system when a plan is active
         self._init = (cmd_entries, read_data_entries, write_addr_entries)
         self._credits = [
             _HMCCredits(cmd_entries, read_data_entries, write_addr_entries)
@@ -73,6 +74,7 @@ class BufferCreditManager:
         ]
         self.reservations_granted = 0
         self.reservations_queued = 0
+        self.reservations_cancelled = 0
 
     def reserve(self, hmc: int, *, num_loads: int, num_stores: int,
                 on_grant: Callable[[], None]) -> Reservation:
@@ -103,8 +105,16 @@ class BufferCreditManager:
     # -- credit return ---------------------------------------------------------
 
     def release(self, hmc: int, *, cmd: int = 0, read_data: int = 0,
-                write_addr: int = 0, delay: int = CREDIT_RETURN_DELAY) -> None:
-        """NSU returns credits (piggybacked; latency only, no bandwidth)."""
+                write_addr: int = 0, delay: int = CREDIT_RETURN_DELAY) -> bool:
+        """NSU returns credits (piggybacked; latency only, no bandwidth).
+
+        Returns False when an armed fault plan drops the credit-return
+        message -- the caller's ledger keeps the entries until recovery
+        reconciles them (see :meth:`reconcile`)."""
+        if (self.faults is not None
+                and self.faults.decide("credit") is not None):
+            return False
+
         def apply() -> None:
             bank = self._credits[hmc]
             bank.cmd += cmd
@@ -115,6 +125,33 @@ class BufferCreditManager:
             self.engine.after(delay, apply)
         else:
             apply()
+        return True
+
+    def reconcile(self, hmc: int, *, cmd: int = 0, read_data: int = 0,
+                  write_addr: int = 0) -> None:
+        """Restore credits immediately, bypassing fault injection.
+
+        The recovery layer calls this when an offload instance completes
+        or aborts with unreturned entries (dropped credit messages or
+        purged buffer state): the GPU-side manager knows exactly what the
+        block reserved, so it can reconstruct the ledger on timeout."""
+        bank = self._credits[hmc]
+        bank.cmd += cmd
+        bank.read_data += read_data
+        bank.write_addr += write_addr
+        self._drain(hmc)
+
+    def cancel(self, res: Reservation) -> bool:
+        """Remove a still-queued reservation (recovery retry/fallback).
+        Returns False when it was already granted or already removed."""
+        bank = self._credits[res.hmc]
+        try:
+            bank.waiting.remove(res)
+        except ValueError:
+            return False
+        self.reservations_cancelled += 1
+        self._drain(res.hmc)
+        return True
 
     def _drain(self, hmc: int) -> None:
         bank = self._credits[hmc]

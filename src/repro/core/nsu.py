@@ -54,6 +54,7 @@ class NSU:
         self.cfg = cfg
         self.hmc_id = hmc_id
         self.controller = controller   # NDPController: write routing, ACKs
+        self.faults = None   # armed by the system when a plan is active
         n = cfg.nsu
         self.num_slots = n.num_warp_slots
         self.alu_latency_sm = int(round(
@@ -115,7 +116,7 @@ class NSU:
             self.warps.append(warp)
             self.ready.append(warp)
             # The command buffer entry frees as the warp spawns.
-            self.controller.credits.release(self.hmc_id, cmd=1)
+            self.controller.release_credits(self.hmc_id, inst, cmd=1)
 
     def _touch_icache(self, block) -> None:
         start_line, n_lines = self.controller.code_layout[block.block_id]
@@ -129,6 +130,11 @@ class NSU:
 
     def deliver_read(self, key: tuple, words: int,
                      cacheable_line: int | None = None) -> None:
+        if (self.faults is not None
+                and self.faults.decide("nsu_buffer") is not None):
+            # Buffer-entry corruption: ECC detects it and the delivery is
+            # discarded; the entry stays incomplete until recovery replays.
+            return
         if self.ro_cache is not None and cacheable_line is not None:
             self.ro_cache.insert(cacheable_line)
         if self.read_buf.deliver(key, words):
@@ -149,6 +155,12 @@ class NSU:
         self._check_wta(key)
 
     def deliver_wta(self, key: tuple, access) -> None:
+        if (self.faults is not None
+                and self.faults.decide("nsu_buffer") is not None):
+            # Corrupted write-address entry: discarded on arrival; the
+            # controller's stale/lost accounting keeps WTA counters sane.
+            self.controller.wta_discarded(access)
+            return
         self._wta_arrived.setdefault(key, []).append(access)
         self._check_wta(key)
 
@@ -220,7 +232,7 @@ class NSU:
                 self._read_waiters[key] = warp
                 return "blocked"
             self.read_buf.consume(key)
-            self.controller.credits.release(self.hmc_id, read_data=1)
+            self.controller.release_credits(self.hmc_id, inst, read_data=1)
             warp.reg_ready[n.instr.dst] = now + READ_BUFFER_LATENCY
         elif n.kind == "alu":
             ready_at = max((warp.reg_ready.get(r, 0) for r in n.instr.reads),
@@ -244,7 +256,7 @@ class NSU:
                 # Keep the WTA entry for the retry.
                 return "retry"
             accesses = self.wta_buf.consume(key)
-            self.controller.credits.release(self.hmc_id, write_addr=1)
+            self.controller.release_credits(self.hmc_id, inst, write_addr=1)
             for acc in accesses:
                 warp.outstanding_writes += 1
                 self.controller.ndp_write(self, warp, acc)
@@ -264,6 +276,8 @@ class NSU:
     def write_done(self, warp: NSUWarp) -> None:
         """A DRAM write issued by this warp was acknowledged."""
         warp.outstanding_writes -= 1
+        if warp.state == "aborted":
+            return   # recovery purged the warp; the write still landed
         if warp.outstanding_writes == 0 and warp.state == "wait_writes":
             self._wake(warp)
 
@@ -273,6 +287,32 @@ class NSU:
         warp.state = "done"
         self.controller.send_ack(self, warp.inst)
         self._try_spawn()
+
+    # -- recovery ----------------------------------------------------------------
+
+    def purge_instance(self, uid) -> tuple[int, list]:
+        """Abort one offload instance: evict its warp, queued command and
+        buffer state (recovery retry/fallback).
+
+        Returns ``(read_entries_purged, wta_accesses_purged)`` so the
+        controller can reconcile credits and in-flight WTA counters."""
+        for warp in [w for w in self.warps if w.inst.uid == uid]:
+            self.warps.remove(warp)
+            warp.state = "aborted"
+        self.ready = deque(w for w in self.ready if w.inst.uid != uid)
+        self.cmd_queue = deque(i for i in self.cmd_queue if i.uid != uid)
+        for key in [k for k in self._read_waiters if k[0] == uid]:
+            del self._read_waiters[key]
+        for key in [k for k in self._wta_waiters if k[0] == uid]:
+            del self._wta_waiters[key]
+        reads = self.read_buf.purge_uid(uid)
+        wta = self.wta_buf.purge_uid(uid)
+        for key in [k for k in self._wta_arrived if k[0] == uid]:
+            wta.extend(self._wta_arrived.pop(key))
+        for key in [k for k in self._wta_expected if k[0] == uid]:
+            del self._wta_expected[key]
+        self._try_spawn()
+        return reads, wta
 
     # -- introspection -----------------------------------------------------------
 

@@ -16,11 +16,21 @@ The controller implements everything the paper adds to the GPU:
 * the per-SM pending packet buffer: packets of not-yet-granted blocks wait
   on-chip, and a full buffer back-pressures the warp (ExecUnitBusy);
 * NSU write routing + cache-invalidation coherence (Section 4.2) and the
-  in-flight WTA counters used for dynamic memory management (Section 4.1.1).
+  in-flight WTA counters used for dynamic memory management (Section 4.1.1);
+* the protocol-recovery layer (``repro.faults``): when a fault plan with a
+  recovery policy is armed, every offload instance carries an ACK watchdog.
+  A block that stops making progress is retried -- its reservation is
+  re-queued if it was never granted, or its NSU-side state is purged and
+  every packet replayed from the SM (the GPU generated all addresses, so
+  replay needs no recomputation) -- and after ``max_retries`` the block
+  falls back to inline execution on the SM.  Credits are reconciled from a
+  per-instance ledger whenever an instance closes or aborts, so dropped
+  credit-return messages cannot wedge the manager.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Callable
 
@@ -28,6 +38,7 @@ from repro.config import LINE_SIZE, SystemConfig
 from repro.core.credit import BufferCreditManager
 from repro.core.packets import PacketSizes
 from repro.core.target_select import first_instr_target, optimal_target
+from repro.faults.recovery import RecoveryStats
 from repro.gpu.coalescer import MemAccess
 from repro.sim.engine import Engine
 
@@ -38,7 +49,10 @@ class OffloadInstance:
     __slots__ = ("uid", "sm", "warp", "item", "block", "target",
                  "granted", "deferred", "pending_packets", "next_seq",
                  "rdf_packets", "rdf_hits", "gpu_end_reached", "ack_arrived",
-                 "active_threads", "start_cycle")
+                 "active_threads", "start_cycle",
+                 # recovery state (inert unless a recovery policy is armed)
+                 "attempt", "retries", "completed", "held", "reservation",
+                 "wd_token", "progress_sig")
 
     def __init__(self, uid, sm, warp, item, target: int) -> None:
         self.uid = uid
@@ -57,6 +71,13 @@ class OffloadInstance:
         self.ack_arrived = False
         self.active_threads = item.active_threads
         self.start_cycle = 0
+        self.attempt = 0           # bumped per abort; stales old packets
+        self.retries = 0
+        self.completed = False
+        self.held = None           # [cmd, read_data, write_addr] ledger
+        self.reservation = None
+        self.wd_token = 0
+        self.progress_sig = None
 
 
 @dataclass
@@ -113,6 +134,11 @@ class NDPController:
         self._uid_counter = 0
         # Optional packet-level tracing (repro.sim.tracing.MessageTrace).
         self.trace = None
+        # Protocol recovery (repro.faults): a RecoveryPolicy when armed.
+        self.recovery = None
+        self.rstats = RecoveryStats()
+        self._instances: dict[tuple, OffloadInstance] = {}
+        self._watchdogs: list[tuple] = []   # (deadline, uid, token) heap
 
     def metrics_snapshot(self) -> dict:
         """Counters/gauges published into the metrics registry."""
@@ -156,28 +182,41 @@ class NDPController:
         inst.start_cycle = self.engine.now
         self.stats.offloads += 1
         block = item.block
-        cmd_size = PacketSizes.offload_cmd(len(block.send_regs),
-                                           inst.active_threads)
-
-        def send_cmd() -> None:
-            if self.trace is not None:
-                self.trace.record(self.engine.now, "CMD", "gpu",
-                                  f"hmc{target}", cmd_size, uid,
-                                  f"{len(block.send_regs)} regs")
-            self.gpu_links.to_hmc(
-                target, cmd_size,
-                lambda: self.nsus[target].receive_cmd(inst))
+        if self.recovery is not None:
+            self._instances[uid] = inst
+            inst.progress_sig = self._progress_sig(inst)
+            self._arm_watchdog(inst)
 
         # Reserve NSU buffer space for the whole block (Section 4.3).  The
         # grant may fire synchronously when credits are available.
-        self.credits.reserve(target, num_loads=block.num_loads,
-                             num_stores=block.num_stores,
-                             on_grant=lambda: self._grant(inst))
-        self._emit(inst, send_cmd)
+        inst.reservation = self.credits.reserve(
+            target, num_loads=block.num_loads, num_stores=block.num_stores,
+            on_grant=lambda: self._grant(inst))
+        self._emit(inst, lambda: self._send_cmd(inst))
         return inst
+
+    def _send_cmd(self, inst: OffloadInstance) -> None:
+        block = inst.block
+        attempt = inst.attempt
+        cmd_size = PacketSizes.offload_cmd(len(block.send_regs),
+                                           inst.active_threads)
+        if self.trace is not None:
+            self.trace.record(self.engine.now, "CMD", "gpu",
+                              f"hmc{inst.target}", cmd_size, inst.uid,
+                              f"{len(block.send_regs)} regs")
+        self.gpu_links.to_hmc(inst.target, cmd_size,
+                              lambda: self._deliver_cmd(inst, attempt))
+
+    def _deliver_cmd(self, inst: OffloadInstance, attempt: int) -> None:
+        if inst.completed or inst.attempt != attempt:
+            self.rstats.stale_cmds += 1
+            return
+        self.nsus[inst.target].receive_cmd(inst)
 
     def _grant(self, inst: OffloadInstance) -> None:
         inst.granted = True
+        if self.recovery is not None:
+            inst.held = [1, inst.block.num_loads, inst.block.num_stores]
         if inst.deferred:
             for fn in inst.deferred:
                 fn()
@@ -202,6 +241,55 @@ class NDPController:
             return True
         return self.pending[inst.sm.sm_id] + needed <= self.pending_cap
 
+    # -- credit plumbing -------------------------------------------------------
+
+    def release_credits(self, hmc: int, inst=None, *, cmd: int = 0,
+                        read_data: int = 0, write_addr: int = 0) -> bool:
+        """NSU-side credit return, routed through the owning instance's
+        ledger so recovery can reconcile entries whose return message an
+        armed fault plan dropped."""
+        ok = self.credits.release(hmc, cmd=cmd, read_data=read_data,
+                                  write_addr=write_addr)
+        held = getattr(inst, "held", None)
+        if ok and held is not None:
+            held[0] -= cmd
+            held[1] -= read_data
+            held[2] -= write_addr
+        return ok
+
+    def _reconcile_held(self, inst: OffloadInstance) -> None:
+        held = inst.held
+        inst.held = None
+        if held and any(held):
+            self.credits.reconcile(inst.target, cmd=held[0],
+                                   read_data=held[1], write_addr=held[2])
+            self.rstats.credits_reclaimed += sum(held)
+
+    # -- WTA conservation under faults ----------------------------------------
+
+    def _dec_wta_inflight(self, owner: int) -> None:
+        self.wta_inflight[owner] -= 1
+        if self.wta_inflight[owner] == 0:
+            for cb in self._wta_drain_waiters.pop(owner, []):
+                cb()
+
+    def wta_discarded(self, acc: MemAccess) -> None:
+        """An NSU discarded a corrupted WTA delivery (fault injection)."""
+        self.rstats.wta_lost += 1
+        self._dec_wta_inflight(self.amap.hmc_of(acc.line_addr * LINE_SIZE))
+
+    def _wta_pkt_lost(self, owner: int) -> None:
+        self.rstats.wta_lost += 1
+        self._dec_wta_inflight(owner)
+
+    def _ndp_write_lost(self, owner: int) -> None:
+        self.rstats.writes_lost += 1
+        self._dec_wta_inflight(owner)
+
+    def _inv_lost(self, owner: int) -> None:
+        self.rstats.invs_lost += 1
+        self._dec_wta_inflight(owner)
+
     # -- load instructions (RDF) -----------------------------------------------
 
     def rdf(self, inst: OffloadInstance,
@@ -215,6 +303,7 @@ class NDPController:
         total_words = sum(a.words for a in accesses)
         target = inst.target
         nsu = self.nsus[target]
+        attempt = inst.attempt
 
         def emit_one(acc: MemAccess) -> None:
             inst.rdf_packets += 1
@@ -230,7 +319,8 @@ class NDPController:
                 if nsu.ro_cache_hit(acc.line_addr):
                     self.gpu_links.to_hmc(
                         target, PacketSizes.invalidation(),
-                        lambda: nsu.deliver_read(key, acc.words))
+                        lambda: self._deliver_read(inst, attempt, key,
+                                                   acc.words))
                     return
                 resp = PacketSizes.rdf_response(acc.words)
                 if self.trace is not None:
@@ -240,8 +330,8 @@ class NDPController:
                                       f"seq {seq}, {acc.words} words")
                 self.gpu_links.to_hmc(
                     target, resp,
-                    lambda: nsu.deliver_read(key, acc.words,
-                                             cacheable_line=acc.line_addr))
+                    lambda: self._deliver_read(inst, attempt, key, acc.words,
+                                               cacheable_line=acc.line_addr))
                 return
             owner = self.amap.hmc_of(acc.line_addr * LINE_SIZE)
             req = PacketSizes.rdf_request(acc.irregular, acc.words)
@@ -260,10 +350,13 @@ class NDPController:
                 if owner == target:
                     self.counters.add("intra_hmc", resp)
                     self.engine.after(
-                        4, lambda: nsu.deliver_read(key, acc.words))
+                        4, lambda: self._deliver_read(inst, attempt, key,
+                                                      acc.words))
                 else:
-                    self.network.send(owner, target, resp,
-                                      lambda: nsu.deliver_read(key, acc.words))
+                    self.network.send(
+                        owner, target, resp,
+                        lambda: self._deliver_read(inst, attempt, key,
+                                                   acc.words))
 
             if self.trace is not None:
                 self.trace.record(self.engine.now, "RDF", "gpu",
@@ -279,6 +372,22 @@ class NDPController:
         self._emit(inst, emit_all)
         return True
 
+    def _deliver_read(self, inst: OffloadInstance, attempt: int, key: tuple,
+                      words: int, cacheable_line: int | None = None) -> None:
+        if inst.completed or inst.attempt != attempt:
+            self.rstats.stale_reads += 1
+            return
+        self.nsus[inst.target].deliver_read(key, words,
+                                            cacheable_line=cacheable_line)
+
+    def _deliver_wta(self, inst: OffloadInstance, attempt: int, key: tuple,
+                     acc: MemAccess, owner: int) -> None:
+        if inst.completed or inst.attempt != attempt:
+            self.rstats.stale_wta += 1
+            self._dec_wta_inflight(owner)
+            return
+        self.nsus[inst.target].deliver_wta(key, acc)
+
     # -- store instructions (WTA) -------------------------------------------------
 
     def wta(self, inst: OffloadInstance,
@@ -291,6 +400,7 @@ class NDPController:
         key = (inst.uid, seq)
         target = inst.target
         nsu = self.nsus[target]
+        attempt = inst.attempt
 
         def emit_all() -> None:
             nsu.expect_wta(key, len(accesses))
@@ -304,7 +414,10 @@ class NDPController:
                                       f"hmc{target}", size, inst.uid,
                                       f"seq {seq}, line {acc.line_addr:#x}")
                 self.gpu_links.to_hmc(
-                    target, size, lambda a=acc: nsu.deliver_wta(key, a))
+                    target, size,
+                    (lambda a=acc, o=owner:
+                        self._deliver_wta(inst, attempt, key, a, o)),
+                    lost=(lambda o=owner: self._wta_pkt_lost(o)))
 
         self._emit(inst, emit_all)
         return True
@@ -321,13 +434,19 @@ class NDPController:
     def send_ack(self, nsu, inst: OffloadInstance) -> None:
         size = PacketSizes.offload_ack(len(inst.block.ret_regs),
                                        inst.active_threads)
+        attempt = inst.attempt
         if self.trace is not None:
             self.trace.record(self.engine.now, "ACK", f"hmc{nsu.hmc_id}",
                               "gpu", size, inst.uid,
                               f"{len(inst.block.ret_regs)} regs")
-        self.gpu_links.to_gpu(nsu.hmc_id, size, lambda: self._ack(inst))
+        self.gpu_links.to_gpu(nsu.hmc_id, size,
+                              lambda: self._ack(inst, attempt))
 
-    def _ack(self, inst: OffloadInstance) -> None:
+    def _ack(self, inst: OffloadInstance, attempt: int | None = None) -> None:
+        if inst.completed or (attempt is not None
+                              and inst.attempt != attempt):
+            self.rstats.stale_acks += 1
+            return
         inst.ack_arrived = True
         self.stats.acks += 1
         if self.decider is not None and hasattr(self.decider,
@@ -338,6 +457,12 @@ class NDPController:
             self._complete(inst)
 
     def _complete(self, inst: OffloadInstance) -> None:
+        if self.recovery is not None:
+            inst.completed = True
+            self._instances.pop(inst.uid, None)
+            # Any entries whose credit-return message was dropped are
+            # restored here: the manager knows what the block reserved.
+            self._reconcile_held(inst)
         inst.sm.complete_offload(inst.warp)
 
     # -- NSU write routing + coherence (Sections 4.1.2 / 4.2) -----------------------
@@ -367,12 +492,19 @@ class NDPController:
             else:
                 self.network.send(owner, nsu.hmc_id,
                                   PacketSizes.write_ack(),
-                                  lambda: nsu.write_done(warp))
+                                  lambda: nsu.write_done(warp),
+                                  lost=self._write_ack_lost)
 
         if owner == nsu.hmc_id:
             do_write()
         else:
-            self.network.send(nsu.hmc_id, owner, size, do_write)
+            self.network.send(nsu.hmc_id, owner, size, do_write,
+                              lost=lambda: self._ndp_write_lost(owner))
+
+    def _write_ack_lost(self) -> None:
+        # The write landed and was invalidated; only the NSU warp's
+        # completion signal died.  Recovery replays the block.
+        self.rstats.write_acks_lost += 1
 
     def _send_invalidation(self, owner: int, line_addr: int) -> None:
         size = PacketSizes.invalidation()
@@ -382,14 +514,12 @@ class NDPController:
             self.trace.record(self.engine.now, "INV", f"hmc{owner}", "gpu",
                               size, None, f"line {line_addr:#x}")
         self.gpu_links.to_gpu(
-            owner, size, lambda: self._apply_invalidation(owner, line_addr))
+            owner, size, lambda: self._apply_invalidation(owner, line_addr),
+            lost=lambda: self._inv_lost(owner))
 
     def _apply_invalidation(self, owner: int, line_addr: int) -> None:
         self.memsys.invalidate(line_addr)
-        self.wta_inflight[owner] -= 1
-        if self.wta_inflight[owner] == 0:
-            for cb in self._wta_drain_waiters.pop(owner, []):
-                cb()
+        self._dec_wta_inflight(owner)
 
     # -- dynamic memory management guard (Section 4.1.1) ------------------------------
 
@@ -405,3 +535,132 @@ class NDPController:
             cb()
         else:
             self._wta_drain_waiters.setdefault(hmc, []).append(cb)
+
+    # -- protocol recovery: ACK watchdogs, replay, inline fallback ----------------
+
+    @staticmethod
+    def _progress_sig(inst: OffloadInstance) -> tuple:
+        return (inst.attempt, inst.granted, inst.next_seq,
+                inst.pending_packets, inst.gpu_end_reached, inst.ack_arrived)
+
+    def _arm_watchdog(self, inst: OffloadInstance) -> None:
+        inst.wd_token += 1
+        deadline = self.engine.now + self.recovery.ack_timeout
+        heapq.heappush(self._watchdogs, (deadline, inst.uid, inst.wd_token))
+
+    def next_watchdog_deadline(self) -> int | None:
+        """Earliest armed deadline (the system folds this into its
+        fast-forward target; stale heap entries only wake it early)."""
+        return self._watchdogs[0][0] if self._watchdogs else None
+
+    def poll_watchdogs(self, now: int) -> None:
+        """Fire every due watchdog.  Called from the system main loop so
+        watchdog timers never appear as engine events -- an unarmed run's
+        event stream (and cycle count) stays untouched."""
+        wd = self._watchdogs
+        while wd and wd[0][0] <= now:
+            _, uid, token = heapq.heappop(wd)
+            inst = self._instances.get(uid)
+            if inst is None or token != inst.wd_token:
+                continue
+            self._watchdog_check(inst)
+
+    def _watchdog_check(self, inst: OffloadInstance) -> None:
+        sig = self._progress_sig(inst)
+        if sig != inst.progress_sig:
+            # The block moved since the last check; keep watching.
+            inst.progress_sig = sig
+            self._arm_watchdog(inst)
+            return
+        self.rstats.watchdog_fires += 1
+        exhausted = inst.retries >= self.recovery.max_retries
+        if not inst.granted:
+            # Wedged waiting for buffer credits (e.g. a lost credit-return
+            # message starved the FIFO): re-queue or give up.
+            self._fallback(inst) if exhausted else self._retry_queued(inst)
+        elif inst.gpu_end_reached and not inst.ack_arrived:
+            # Every packet left the GPU but the ACK never came back:
+            # a CMD/RDF/WTA/WRITE/ACK packet died somewhere.
+            self._fallback(inst) if exhausted else self._retry(inst)
+        else:
+            # Mid-emission on the SM with no safe replay point (e.g. an
+            # address operand is still outstanding); keep watching.  A
+            # truly dead block surfaces as a simulation timeout.
+            self._arm_watchdog(inst)
+
+    def _retry_queued(self, inst: OffloadInstance) -> None:
+        """Re-queue a never-granted reservation.  Parked packets stay in
+        the SM's pending buffer; the new grant flushes them."""
+        inst.retries += 1
+        self.rstats.retries += 1
+        block = inst.block
+        self.credits.cancel(inst.reservation)
+        inst.reservation = self.credits.reserve(
+            inst.target, num_loads=block.num_loads,
+            num_stores=block.num_stores,
+            on_grant=lambda: self._grant(inst))
+        inst.progress_sig = self._progress_sig(inst)
+        self._arm_watchdog(inst)
+
+    def _retry(self, inst: OffloadInstance) -> None:
+        """Full replay: abort the NSU-side attempt, re-reserve, re-emit
+        every packet from the SM's already-generated addresses."""
+        inst.retries += 1
+        self.rstats.retries += 1
+        self._abort_attempt(inst)
+        attempt = inst.attempt
+        block = inst.block
+        inst.reservation = self.credits.reserve(
+            inst.target, num_loads=block.num_loads,
+            num_stores=block.num_stores,
+            on_grant=lambda: self._replay(inst, attempt))
+        inst.progress_sig = self._progress_sig(inst)
+        self._arm_watchdog(inst)
+
+    def _abort_attempt(self, inst: OffloadInstance) -> None:
+        """Unwind one attempt: stale its in-flight packets, reconcile its
+        credits, purge its NSU state, unwind WTA counters."""
+        inst.attempt += 1
+        if not inst.granted:
+            self.credits.cancel(inst.reservation)
+        else:
+            self._reconcile_held(inst)
+        inst.granted = False
+        if inst.pending_packets:
+            self.pending[inst.sm.sm_id] -= inst.pending_packets
+            inst.pending_packets = 0
+        inst.deferred.clear()
+        inst.ack_arrived = False
+        inst.next_seq = 0
+        _reads, wta = self.nsus[inst.target].purge_instance(inst.uid)
+        self.rstats.wta_purged += len(wta)
+        for acc in wta:
+            self._dec_wta_inflight(self.amap.hmc_of(acc.line_addr * LINE_SIZE))
+
+    def _replay(self, inst: OffloadInstance, attempt: int) -> None:
+        """The retry's reservation was granted: re-send CMD and every
+        RDF/WTA packet in program order (addresses were kept on the SM)."""
+        if inst.completed or inst.attempt != attempt:
+            return   # superseded by a later retry or a fallback
+        inst.granted = True
+        inst.held = [1, inst.block.num_loads, inst.block.num_stores]
+        self._send_cmd(inst)
+        mem_seq = 0
+        item = inst.item
+        for g in inst.block.gpu_code:
+            if g.kind == "rdf":
+                self.rdf(inst, item.mem_accesses[mem_seq])
+                mem_seq += 1
+            elif g.kind == "wta":
+                self.wta(inst, item.mem_accesses[mem_seq])
+                mem_seq += 1
+
+    def _fallback(self, inst: OffloadInstance) -> None:
+        """Retries exhausted: abort the offload for good and re-execute
+        the block inline on the SM (it generated every address already,
+        so inline re-execution is always possible)."""
+        self.rstats.fallbacks += 1
+        self._abort_attempt(inst)
+        inst.completed = True
+        self._instances.pop(inst.uid, None)
+        inst.sm.fallback_inline(inst.warp)

@@ -1,0 +1,37 @@
+"""Protocol-recovery bookkeeping.
+
+The recovery mechanics live in :class:`~repro.core.offload.NDPController`
+(watchdogs, replay, inline fallback, credit reconciliation); this module
+holds the counters they surface.  The counters exist on every controller
+so the post-run audit can read them unconditionally, but they only move
+when a fault plan with a recovery policy is armed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class RecoveryStats:
+    """Counters for the watchdog/replay/fallback/reconciliation paths."""
+
+    watchdog_fires: int = 0     # no-progress timeouts acted upon
+    retries: int = 0            # block replays (reservation or full)
+    fallbacks: int = 0          # blocks re-executed inline on the SM
+    credits_reclaimed: int = 0  # credit entries restored by reconciliation
+    stale_cmds: int = 0         # packets of an aborted attempt discarded
+    stale_reads: int = 0
+    stale_wta: int = 0
+    stale_acks: int = 0
+    wta_purged: int = 0         # WTA accesses removed at block abort
+    wta_lost: int = 0           # WTA packets dropped in flight
+    writes_lost: int = 0        # NDP write packets dropped in flight
+    write_acks_lost: int = 0    # write acknowledgments dropped in flight
+    invs_lost: int = 0          # invalidations dropped in flight
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def metrics_counters(self) -> dict[str, int]:
+        return {f"recovery.{k}": v for k, v in self.as_dict().items()}

@@ -182,6 +182,12 @@ class SM:
         self._classify_no_issue(cycles)
 
     @property
+    def pending_replays(self) -> int:
+        """Number of loads currently mid-replay (line requests spanning
+        several issue attempts).  Must be zero at end of simulation."""
+        return len(self._replays)
+
+    @property
     def can_issue_now(self) -> bool:
         return bool(self.ready) or (
             bool(self.pending_traces) and len(self.warps) < self.warps_per_sm)
@@ -217,6 +223,10 @@ class SM:
         if warp.mode is None:
             offload = (self.ndp is not None and self.decider is not None
                        and self.decider.decide(self.sm_id, item))
+            if warp.force_inline:
+                # Recovery fallback: re-execute this block inline once.
+                warp.force_inline = False
+                offload = False
             if offload:
                 inst = self.ndp.start_block(self, warp, item)
                 if inst is None:
@@ -291,6 +301,22 @@ class SM:
         warp.sub_pc += 1
         self.issue_slots_used += 1
         return "issued"
+
+    def fallback_inline(self, warp: Warp) -> None:
+        """Recovery gave up on the warp's current offload block: rewind
+        the block-expansion state and re-issue it inline.  The warp may be
+        parked in ACK (at OFLD.END) or still mid-emission; either way the
+        block restarts from its first instruction."""
+        item = warp.current_item()
+        assert isinstance(item, DynBlock) and warp.mode == "offload"
+        warp.offload_instance = None
+        warp.mode = None
+        warp.sub_pc = 0
+        warp.mem_seq = 0
+        warp.force_inline = True
+        if warp.state is WarpState.ACK:
+            warp.state = WarpState.READY
+            self.ready.setdefault(warp.wid, warp)
 
     def complete_offload(self, warp: Warp) -> None:
         """ACK arrived: live-out registers are in, the warp resumes."""

@@ -81,6 +81,7 @@ class VaultController:
         self.queue_size = queue_size
         self.name = name
         self.bus_free_at = 0
+        self.faults = None   # armed by the system when a plan is active
         self._wakeup_scheduled_at: int | None = None
         # Refresh (tREFI/tRFC): all banks stall periodically; closed-page
         # after refresh (the refresh cycle precharges every bank).
@@ -202,6 +203,11 @@ class VaultController:
                 self.stats.writes += 1
             else:
                 self.stats.reads += 1
+            if (self.faults is not None and not req.is_write
+                    and self.faults.decide("vault_read") is not None):
+                # Read-response loss: the access happened (timing, stats,
+                # row state) but its response never reaches the requester.
+                continue
             self.engine.at(ready + req.extra_latency,
                            lambda r=req: r.on_done(r))
             now = self.engine.now  # unchanged; loop to try the next request

@@ -6,6 +6,11 @@ dimension-order route so every traversed link pays serialization -- this is
 what makes multi-hop RDF forwarding cost real bandwidth, and what keeps
 inter-HMC data movement off the GPU links (the paper's central bandwidth
 argument).
+
+Both fabrics carry an optional fault injector (``repro.faults``): when a
+plan is armed, every send is filtered and may be dropped, delayed or
+corrupted.  Senders that maintain conservation counters pass a ``lost``
+callback that fires when their packet dies in flight.
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ class MemoryNetwork:
                  counters: LinkCounters) -> None:
         self.engine = engine
         self.cfg = cfg
+        self.faults = None   # armed by the system when a plan is active
         self.graph: nx.Graph = hypercube_topology(cfg.num_hmcs)
         bpc = cfg.hmc.link_bytes_per_sm_cycle(cfg.gpu.sm_clock_mhz)
         self._links: dict[tuple[int, int], Link] = {}
@@ -44,12 +50,18 @@ class MemoryNetwork:
         return self._links[(src, dst)]
 
     def send(self, src: int, dst: int, size_bytes: int,
-             deliver: Callable[[], None]) -> None:
+             deliver: Callable[[], None],
+             lost: Callable[[], None] | None = None) -> None:
         """Route a packet from stack ``src`` to stack ``dst``.
 
         ``deliver`` fires at the destination's logic layer.  Local traffic
-        (src == dst) skips the network entirely.
+        (src == dst) skips the network entirely.  ``lost`` fires instead of
+        ``deliver`` if an armed fault plan kills the packet in flight.
         """
+        if self.faults is not None:
+            deliver = self.faults.packet("mem_net", deliver, lost)
+            if deliver is None:
+                return
         if src == dst:
             self.engine.at(self.engine.now, deliver)
             return
@@ -96,6 +108,7 @@ class GPULinks:
                 f"system wiring expects one GPU link per HMC "
                 f"({cfg.gpu.num_links} links, {cfg.num_hmcs} HMCs)")
         self.engine = engine
+        self.faults = None   # armed by the system when a plan is active
         bpc = cfg.gpu.link_bytes_per_sm_cycle
         self.down: list[Link] = []   # GPU -> HMC
         self.up: list[Link] = []     # HMC -> GPU
@@ -110,11 +123,21 @@ class GPULinks:
                                 counters=counters))
 
     def to_hmc(self, hmc: int, size_bytes: int,
-               deliver: Callable[[], None]) -> None:
+               deliver: Callable[[], None],
+               lost: Callable[[], None] | None = None) -> None:
+        if self.faults is not None:
+            deliver = self.faults.packet("gpu_link_down", deliver, lost)
+            if deliver is None:
+                return
         self.down[hmc].send(size_bytes, deliver)
 
     def to_gpu(self, hmc: int, size_bytes: int,
-               deliver: Callable[[], None]) -> None:
+               deliver: Callable[[], None],
+               lost: Callable[[], None] | None = None) -> None:
+        if self.faults is not None:
+            deliver = self.faults.packet("gpu_link_up", deliver, lost)
+            if deliver is None:
+                return
         self.up[hmc].send(size_bytes, deliver)
 
     def bytes_down(self) -> int:

@@ -35,7 +35,7 @@ class System:
     """
 
     def __init__(self, cfg: SystemConfig, *, config_name: str = "",
-                 metrics=None) -> None:
+                 metrics=None, faults=None) -> None:
         self.cfg = cfg
         self.config_name = config_name or cfg.ndp.mode
         self.metrics = metrics
@@ -83,6 +83,27 @@ class System:
         from repro.sim.metrics import PhaseCycles
         self.phases = PhaseCycles()
 
+        # Fault injection (repro.faults): arming is a plain attribute write
+        # on each component -- an unarmed system carries ``faults = None``
+        # everywhere and its event stream is untouched.
+        self.faults_plan = faults
+        self.fault_injector = None
+        if faults is not None:
+            from repro.faults.inject import FaultInjector
+            inj = FaultInjector(faults, self.engine)
+            self.fault_injector = inj
+            self.network.faults = inj
+            self.gpu_links.faults = inj
+            for hmc in self.hmcs:
+                for vault in hmc.vaults:
+                    vault.faults = inj
+            for nsu in self.nsus:
+                nsu.faults = inj
+            if self.ndp is not None:
+                self.ndp.credits.faults = inj
+                if faults.recovery is not None and faults.recovery.enabled:
+                    self.ndp.recovery = faults.recovery
+
     # -- workload loading ----------------------------------------------------------
 
     def load_workload(self, name: str, traces) -> None:
@@ -122,9 +143,13 @@ class System:
         metrics = self.metrics
         next_heartbeat = (engine.now + metrics.heartbeat_cycles
                           if metrics is not None else None)
+        ndp = self.ndp
+        rec = ndp is not None and ndp.recovery is not None
 
         while True:
             engine.process_due()
+            if rec:
+                ndp.poll_watchdogs(engine.now)
             live = 0
             for sm in sms:
                 sm.tick()
@@ -164,7 +189,20 @@ class System:
             if (not any(sm.can_issue_now for sm in sms)
                     and not any(n.has_ready for n in nsus)):
                 nt = engine.next_event_time()
-                if nt is not None and nt > engine.now + 1:
+                if rec:
+                    wd = ndp.next_watchdog_deadline()
+                    if wd is not None and (nt is None or wd < nt):
+                        nt = wd
+                if nt is None:
+                    # Quiet, no pending events, no watchdog armed, yet not
+                    # finished: nothing can ever change.  Without recovery a
+                    # lost packet lands here (detect it immediately instead
+                    # of crawling to max_cycles one cycle at a time).
+                    raise SimulationTimeout(
+                        f"{self.workload_name}/{self.config_name}: deadlock "
+                        f"at cycle {engine.now}; "
+                        f"{sum(sm.live_warps for sm in sms)} warps live")
+                if nt > engine.now + 1:
                     skip = nt - engine.now - 1
                     active_integral += skip * sum(
                         sm.live_warps for sm in sms)
@@ -250,6 +288,10 @@ class System:
         m.set_counters({f"traffic.{k}": v
                         for k, v in res.traffic.as_dict().items()})
         m.set_counters({f"packets.{k}": v for k, v in packets.items()})
+        if self.fault_injector is not None:
+            m.set_counters(self.fault_injector.metrics_counters())
+            if self.ndp is not None and self.ndp.recovery is not None:
+                m.set_counters(self.ndp.rstats.metrics_counters())
         m.meta.setdefault("workload", res.workload)
         m.meta.setdefault("config", res.config_name)
         m.record("summary", cycle=self.engine.now, stalls=stalls,
@@ -324,6 +366,10 @@ class System:
                 "final_ratio": getattr(self.decider, "ratio", None),
             },
         )
+        if self.fault_injector is not None:
+            res.extra["faults"] = self.fault_injector.snapshot()
+            if self.ndp is not None and self.ndp.recovery is not None:
+                res.extra["recovery"] = self.ndp.rstats.as_dict()
         if self.metrics is not None:
             self._publish_summary(res)
         return res

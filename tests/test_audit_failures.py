@@ -1,0 +1,112 @@
+"""Tests for ``audit_system``'s failure paths: each conservation invariant
+must produce its specific violation message when broken.
+
+The positive path (clean audits after every configuration) is covered by
+the integration tests; here we take a clean finished system and surgically
+break one invariant at a time."""
+
+import pytest
+
+from repro.config import ci_config
+from repro.sim.runner import build_system
+from repro.sim.validate import AuditError, assert_clean, audit_system
+
+
+@pytest.fixture(scope="module")
+def finished():
+    system = build_system("VADD", "NDP(Dyn)", base=ci_config(), scale="ci")
+    result = system.run(max_cycles=2_000_000)
+    return system, result
+
+
+class TestAuditFailurePaths:
+    def test_clean_baseline(self, finished):
+        system, result = finished
+        assert audit_system(system, result) == []
+        assert_clean(system, result)   # must not raise
+
+    def test_leaked_read_buffer_entry(self, finished):
+        system, result = finished
+        nsu = system.nsus[0]
+        nsu.read_buf.expect((("fake", 0, 0), 0), 1)
+        try:
+            failures = audit_system(system, result)
+            assert any("read buffer leaks" in f for f in failures)
+            with pytest.raises(AuditError, match="read buffer leaks"):
+                assert_clean(system, result)
+        finally:
+            nsu.read_buf._entries.clear()
+
+    def test_unbalanced_credits(self, finished):
+        system, result = finished
+        bank = system.ndp.credits._credits[0]
+        bank.cmd -= 1
+        try:
+            failures = audit_system(system, result)
+            assert any("credits" in f and "!= capacity" in f
+                       for f in failures)
+        finally:
+            bank.cmd += 1
+
+    def test_credit_overflow(self, finished):
+        system, result = finished
+        bank = system.ndp.credits._credits[0]
+        bank.read_data += 3
+        try:
+            failures = audit_system(system, result)
+            assert any("credit overflow" in f for f in failures)
+        finally:
+            bank.read_data -= 3
+
+    def test_leaked_load_replay(self, finished):
+        system, result = finished
+        sm = system.sms[0]
+        sm._replays[999] = object()
+        try:
+            assert sm.pending_replays == 1
+            failures = audit_system(system, result)
+            assert any("leaks load replays" in f for f in failures)
+        finally:
+            del sm._replays[999]
+        assert sm.pending_replays == 0
+
+    def test_ack_offload_mismatch(self, finished):
+        system, result = finished
+        system.ndp.stats.offloads += 1
+        try:
+            failures = audit_system(system, result)
+            assert any("!= offloads" in f for f in failures)
+        finally:
+            system.ndp.stats.offloads -= 1
+
+    def test_wta_inflight_leak(self, finished):
+        system, result = finished
+        system.ndp.wta_inflight[-1] += 1
+        try:
+            failures = audit_system(system, result)
+            assert any("in-flight WTA counters leak" in f for f in failures)
+        finally:
+            system.ndp.wta_inflight[-1] -= 1
+
+    def test_pending_engine_events(self, finished):
+        system, result = finished
+        system.engine.after(100, lambda: None)
+        try:
+            failures = audit_system(system, result)
+            assert any("events still pending" in f for f in failures)
+        finally:
+            system.engine.now += 200
+            system.engine.process_due()   # drain the injected event
+
+    def test_multiple_violations_all_reported(self, finished):
+        system, result = finished
+        sm = system.sms[0]
+        sm._replays[999] = object()
+        system.ndp.wta_inflight[0] += 1
+        try:
+            failures = audit_system(system, result)
+            assert len(failures) >= 2
+        finally:
+            del sm._replays[999]
+            system.ndp.wta_inflight[0] -= 1
+        assert audit_system(system, result) == []

@@ -1,12 +1,25 @@
 """Failure-injection tests: the simulator must fail loudly, not hang or
-silently corrupt, when components misbehave."""
+silently corrupt, when packets or protocol state die in flight.
+
+Faults are injected through the deterministic ``repro.faults`` plans (the
+same hooks the chaos CLI drives) rather than by monkeypatching internals,
+so these tests exercise the production injection + recovery paths.
+"""
 
 import pytest
 
 from repro.config import ci_config
-from repro.sim.runner import make_config, run_workload
-from repro.sim.system import SimulationTimeout, System
-from repro.workloads import get_workload
+from repro.faults import FaultPlan, FaultSpec, RecoveryPolicy
+from repro.sim.runner import build_system, run_workload
+from repro.sim.system import SimulationTimeout
+
+NO_RECOVERY = RecoveryPolicy(enabled=False)
+
+
+def _run(plan, config="NaiveNDP", max_cycles=200_000):
+    system = build_system("VADD", config, base=ci_config(), scale="ci",
+                          faults=plan)
+    return system, system.run(max_cycles=max_cycles)
 
 
 class TestWatchdog:
@@ -19,41 +32,51 @@ class TestWatchdog:
         assert "VADD" in str(exc.value)
         assert "warps live" in str(exc.value)
 
-    def test_lost_ack_detected(self):
-        # Drop every ACK packet: warps block at OFLD.END forever and the
-        # watchdog fires.
-        cfg = make_config("NaiveNDP", ci_config())
-        system = System(cfg, config_name="NaiveNDP")
-        inst = get_workload("VADD").build(cfg, "ci")
-        system.set_code_layout(inst.blocks)
-        system.load_workload(inst.name, inst.traces)
-        system.ndp.send_ack = lambda nsu, inst_: None   # drop ACKs
-        with pytest.raises(SimulationTimeout):
-            system.run(max_cycles=50_000)
+    def test_lost_ack_without_recovery_deadlocks(self):
+        # Drop every ACK packet with recovery disabled: warps block at
+        # OFLD.END forever; the deadlock detector reports it immediately.
+        plan = FaultPlan(name="ack-drop-all", seed=1, recovery=NO_RECOVERY,
+                         specs=(FaultSpec(site="gpu_link_up", kind="drop",
+                                          rate=1.0),))
+        with pytest.raises(SimulationTimeout) as exc:
+            _run(plan)
+        assert "deadlock" in str(exc.value)
 
-    def test_lost_rdf_response_detected(self):
-        # Swallow read-data deliveries: NSU warps starve.
-        cfg = make_config("NaiveNDP", ci_config())
-        system = System(cfg, config_name="NaiveNDP")
-        inst = get_workload("VADD").build(cfg, "ci")
-        system.set_code_layout(inst.blocks)
-        system.load_workload(inst.name, inst.traces)
-        for nsu in system.nsus:
-            nsu.deliver_read = lambda *a, **k: None
+    def test_lost_rdf_response_without_recovery_deadlocks(self):
+        # Swallow every memory-network packet (RDF response forwarding):
+        # NSU read-data entries never complete and warps starve.
+        plan = FaultPlan(name="rdf-drop-all", seed=1, recovery=NO_RECOVERY,
+                         specs=(FaultSpec(site="mem_net", kind="drop",
+                                          rate=1.0),))
         with pytest.raises(SimulationTimeout):
-            system.run(max_cycles=50_000)
+            _run(plan)
 
-    def test_stuck_credit_detected(self):
-        # Never return credits: after the initial grants run out, blocks
-        # queue forever.
-        cfg = make_config("NaiveNDP", ci_config())
-        system = System(cfg, config_name="NaiveNDP")
-        inst = get_workload("VADD").build(cfg, "ci")
-        system.set_code_layout(inst.blocks)
-        system.load_workload(inst.name, inst.traces)
-        system.ndp.credits.release = lambda *a, **k: None
+    def test_stuck_credit_without_recovery_deadlocks(self):
+        # Drop every credit-return message: once the initial grants run
+        # out, reservations queue forever.
+        plan = FaultPlan(name="credit-drop-all", seed=1, recovery=NO_RECOVERY,
+                         specs=(FaultSpec(site="credit", kind="drop",
+                                          rate=1.0),))
         with pytest.raises(SimulationTimeout):
-            system.run(max_cycles=80_000)
+            _run(plan)
+
+    def test_lost_rdf_with_recovery_completes(self):
+        # The same mem-net loss at a survivable rate completes through
+        # watchdog-driven replay when recovery is armed (the default).
+        plan = FaultPlan(name="rdf-drop-some", seed=3, specs=(
+            FaultSpec(site="mem_net", kind="drop", rate=0.1),))
+        system, result = _run(plan, config="NDP(Dyn)", max_cycles=2_000_000)
+        assert result.extra["faults"]["total_fired"] > 0
+        assert result.extra["recovery"]["watchdog_fires"] > 0
+
+    def test_stuck_credit_with_recovery_completes(self):
+        # A single dropped credit-return message is reconciled from the
+        # per-instance ledger when its block completes.
+        plan = FaultPlan(name="credit-drop-one", seed=2, specs=(
+            FaultSpec(site="credit", kind="drop", at_events=(1,)),))
+        system, result = _run(plan, config="NDP(Dyn)", max_cycles=2_000_000)
+        assert result.extra["faults"]["fired"] == {"credit.drop": 1}
+        assert result.extra["recovery"]["credits_reclaimed"] >= 1
 
 
 class TestBufferInvariantTraps:
@@ -67,6 +90,10 @@ class TestBufferInvariantTraps:
             b.expect(("a", 2), 1)
 
     def test_cmd_buffer_overflow_trips_assertion(self):
+        from repro.sim.runner import make_config
+        from repro.sim.system import System
+        from repro.workloads import get_workload
+
         cfg = make_config("NaiveNDP", ci_config())
         system = System(cfg)
         nsu = system.nsus[0]

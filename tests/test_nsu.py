@@ -33,13 +33,9 @@ class StubController:
         self.acks = []
         self.code_layout = {0: (0, 2)}
 
-        stub = self
-
-        class Credits:
-            def release(self, hmc, **kw):
-                stub.released.append((hmc, kw))
-
-        self.credits = Credits()
+    def release_credits(self, hmc, inst=None, **kw):
+        self.released.append((hmc, kw))
+        return True
 
     def ndp_write(self, nsu, warp, acc):
         self.writes.append(acc)
