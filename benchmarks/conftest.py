@@ -19,6 +19,7 @@ import os
 
 import pytest
 
+from repro import api
 from repro.analysis.figures import ExperimentRunner
 from repro.config import paper_config
 from repro.workloads import workload_names
@@ -54,6 +55,8 @@ def _store() -> str | None:
 def runner() -> ExperimentRunner:
     parallel = int(os.environ.get("REPRO_BENCH_PARALLEL",
                                   max(1, (os.cpu_count() or 1) - 1)))
-    return ExperimentRunner(base=paper_config(), scale=_scale(),
-                            workloads=_workloads(), verbose=True,
-                            parallel=parallel, store=_store())
+    store = _store()
+    return api.make_runner(base=paper_config(), scale=_scale(),
+                           workloads=_workloads(), verbose=True,
+                           parallel=parallel, store=store,
+                           use_store=store is not None)

@@ -9,15 +9,27 @@ Configuration::
 
     from repro.config import paper_config, ci_config, OffloadMode
 
-Run a workload under a named configuration::
+Run a workload under a named configuration (the facade handles config
+presets, fault plans, the result store, and post-run audits)::
 
-    from repro.sim.runner import run_workload
-    result = run_workload("KMN", "NDP(Dyn)_Cache", scale="bench")
+    from repro import api
+    out = api.run(workload="KMN", config="NDP(Dyn)_Cache", scale="bench")
+    print(out.result.total_cycles, out.outcome)
+
+Sweep one workload across the paper's configurations, or stress the
+recovery path under injected faults::
+
+    sweep = api.sweep("KMN")
+    report = api.chaos(scenario="vault-read-loss", workloads=("VADD",))
 
 Regenerate a paper artifact::
 
-    from repro.analysis import ExperimentRunner, figure9
-    data = figure9(ExperimentRunner(scale="bench"))
+    from repro.analysis import figure9
+    data = figure9(api.make_runner(scale="bench"))
+
+The low-level primitives (``repro.sim.runner.run_workload`` /
+``build_system``) remain available for single uncached simulations and
+custom harnesses.
 
 Author a new workload: subclass :class:`repro.workloads.WorkloadModel`
 (see ``examples/custom_workload.py``).
@@ -34,8 +46,29 @@ from repro.config import (
 
 __all__ = [
     "OffloadMode",
+    "RunRequest",
     "SystemConfig",
+    "api",
+    "chaos",
     "ci_config",
+    "make_runner",
     "paper_config",
+    "run",
+    "sweep",
     "__version__",
 ]
+
+_API_NAMES = ("RunRequest", "run", "sweep", "chaos", "make_runner")
+
+
+def __getattr__(name):
+    # Lazy facade re-export: ``import repro`` stays cheap (no simulator /
+    # analysis imports) until someone actually touches the api surface.
+    if name == "api" or name in _API_NAMES:
+        import importlib
+
+        api = importlib.import_module("repro.api")
+        if name == "api":
+            return api
+        return getattr(api, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

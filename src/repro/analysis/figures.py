@@ -41,6 +41,30 @@ def _run_cell(args) -> "RunResult":
                         max_cycles=max_cycles)
 
 
+def _run_chaos_cell(args) -> tuple[str, "RunResult | None"]:
+    """Module-level worker for parallel chaos sweeps.
+
+    Builds, runs and audits in one process (a ``System`` cannot cross the
+    pool boundary) and returns ``(outcome, result)`` with the chaos
+    outcome vocabulary: ``clean`` / ``recovered`` / ``audit-fail`` /
+    ``fatal`` (result is None for fatal -- the run deadlocked).
+    """
+    workload, config, base, scale, max_cycles, plan = args
+    from repro.sim.runner import build_system
+    from repro.sim.system import SimulationTimeout
+    from repro.sim.validate import audit_system
+    system = build_system(workload, config, base=base, scale=scale,
+                          faults=plan)
+    try:
+        result = system.run(max_cycles=max_cycles)
+    except SimulationTimeout:
+        return "fatal", None
+    if audit_system(system, result):
+        return "audit-fail", result
+    fired = result.extra.get("faults", {}).get("total_fired", 0)
+    return ("recovered" if fired else "clean"), result
+
+
 @dataclass
 class RunnerStats:
     """Where each requested cell came from (the cache-hit counters the
@@ -95,6 +119,7 @@ class ExperimentRunner:
         # to exercise the timeout/crash recovery paths deterministically.
         self._executor_factory = None
         self._worker = _run_cell
+        self._chaos_worker = _run_chaos_cell
 
     # -- store plumbing ------------------------------------------------------
 
@@ -160,68 +185,143 @@ class ExperimentRunner:
         if not todo:
             return
         if self.parallel > 1:
-            todo = self._parallel_prefetch(todo)
+            def remember(key, res):
+                self.stats.sim_runs += 1
+                self._remember(key[0], key[1], res)
+
+            def make_arg(key):
+                return (key[0], key[1], self.base, self.scale,
+                        self.max_cycles)
+
+            todo = self._parallel_map(todo, make_arg, self._worker,
+                                      remember, what="prefetch")
         for w, c in todo:
             self.result(w, c)
 
-    def _parallel_prefetch(self, todo: list[tuple[str, str]]
-                           ) -> list[tuple[str, str]]:
-        """Fan cells over a process pool.  Returns the cells that still
-        need serial execution after the retry."""
+    # -- hardened parallel fan-out (shared by prefetch and chaos) ------------
+
+    def _parallel_map(self, keys: list, make_arg, worker, on_result,
+                      what: str = "map") -> list:
+        """Fan ``keys`` over a process pool: ``worker(make_arg(key))`` per
+        key, ``on_result(key, value)`` per success.  Failed keys (worker
+        timeout or crash) are retried once in a fresh pool; whatever still
+        fails is returned for the caller to run serially."""
         import concurrent.futures as cf
 
         factory = self._executor_factory or cf.ProcessPoolExecutor
-        pending = list(todo)
+        pending = list(keys)
         for attempt in (0, 1):
             if not pending:
                 break
             if attempt:
                 self.stats.worker_retries += len(pending)
                 warnings.warn(
-                    f"parallel prefetch: retrying {len(pending)} failed "
+                    f"parallel {what}: retrying {len(pending)} failed "
                     f"cell(s) in a fresh worker pool", RuntimeWarning,
                     stacklevel=3)
-            pending = self._parallel_attempt(factory, pending, cf)
+            pending = self._parallel_attempt(factory, pending, cf,
+                                             make_arg, worker, on_result)
         if pending:
             self.stats.serial_fallbacks += len(pending)
             warnings.warn(
-                f"parallel prefetch: {len(pending)} cell(s) failed twice; "
+                f"parallel {what}: {len(pending)} cell(s) failed twice; "
                 f"falling back to serial simulation", RuntimeWarning,
                 stacklevel=3)
         return pending
 
-    def _parallel_attempt(self, factory, cells, cf
-                          ) -> list[tuple[str, str]]:
-        """One pool pass over ``cells``; returns the cells that failed
+    def _parallel_attempt(self, factory, keys, cf, make_arg, worker,
+                          on_result) -> list:
+        """One pool pass over ``keys``; returns the keys that failed
         (worker timeout or crash)."""
-        pool = factory(max_workers=min(self.parallel, len(cells)))
-        failed: list[tuple[str, str]] = []
+        pool = factory(max_workers=min(self.parallel, len(keys)))
+        failed: list = []
         futures = {}
         try:
-            for w, c in cells:
-                arg = (w, c, self.base, self.scale, self.max_cycles)
-                futures[(w, c)] = pool.submit(self._worker, arg)
-            for (w, c), fut in futures.items():
+            for key in keys:
+                futures[key] = pool.submit(worker, make_arg(key))
+            for key, fut in futures.items():
                 try:
                     res = fut.result(timeout=self.worker_timeout)
                 except cf.TimeoutError:
                     self.stats.worker_failures += 1
-                    failed.append((w, c))
+                    failed.append(key)
                 except Exception:
                     # Worker crash (BrokenProcessPool) or a simulation
                     # error; both are retried, then surfaced serially.
                     self.stats.worker_failures += 1
-                    failed.append((w, c))
+                    failed.append(key)
                 else:
                     if self.verbose:  # pragma: no cover
-                        print(f"  [parallel] {w} / {c} done", flush=True)
-                    self.stats.sim_runs += 1
-                    self._remember(w, c, res)
+                        label = " / ".join(str(p) for p in key)
+                        print(f"  [parallel] {label} done", flush=True)
+                    on_result(key, res)
         finally:
             # Never wait for a hung worker: cancel what has not started
             # and leave stragglers to die with the pool's processes.
             pool.shutdown(wait=False, cancel_futures=True)
         return failed
+
+    # -- chaos grids ---------------------------------------------------------
+
+    def chaos_store_key(self, workload: str, config: str, plan) -> str:
+        """Chaos cells are cached under keys salted with the plan
+        fingerprint so faulted results never collide with clean ones."""
+        from repro.sim.store import CODE_VERSION_SALT
+        salt = f"{CODE_VERSION_SALT}|chaos|{plan.fingerprint()}"
+        return cell_key(workload, config, self.base, self.scale,
+                        self.max_cycles, salt=salt)
+
+    def chaos_grid(self, plans: dict, configs, workloads=None
+                   ) -> dict:
+        """Run every (workload, config, plan-key) chaos cell and return
+        ``{(workload, config, key): (outcome, result)}``.
+
+        ``plans`` maps an opaque key (e.g. a fault rate) to a
+        :class:`~repro.faults.FaultPlan`.  Cells ride the same hardened
+        pool as :meth:`prefetch` when ``parallel > 1``; only ``clean`` and
+        ``recovered`` outcomes are persisted (``audit-fail`` and ``fatal``
+        are never cached).
+        """
+        workloads = list(workloads or self.workloads)
+        out: dict = {}
+        todo: list = []
+        for w in workloads:
+            for c in configs:
+                for pkey, plan in plans.items():
+                    stored = (self.store.get(self.chaos_store_key(w, c, plan))
+                              if self.store is not None else None)
+                    if stored is not None:
+                        self.stats.store_hits += 1
+                        fired = stored.extra.get("faults", {}).get(
+                            "total_fired", 0)
+                        out[(w, c, pkey)] = (
+                            "recovered" if fired else "clean", stored)
+                    else:
+                        todo.append((w, c, pkey))
+
+        def make_arg(key):
+            w, c, pkey = key
+            return (w, c, self.base, self.scale, self.max_cycles,
+                    plans[pkey])
+
+        def record(key, value):
+            outcome, res = value
+            self.stats.sim_runs += 1
+            out[key] = value
+            if (res is not None and outcome in ("clean", "recovered")
+                    and self.store is not None):
+                w, c, pkey = key
+                self.store.put(self.chaos_store_key(w, c, plans[pkey]), res,
+                               meta={"scale": str(self.scale),
+                                     "max_cycles": self.max_cycles,
+                                     "chaos": plans[pkey].name})
+
+        if self.parallel > 1 and len(todo) > 1:
+            todo = self._parallel_map(todo, make_arg, self._chaos_worker,
+                                      record, what="chaos")
+        for key in todo:
+            record(key, self._chaos_worker(make_arg(key)))
+        return out
 
     def speedup(self, workload: str, config: str) -> float:
         return self.result(workload, config).speedup_over(
@@ -358,6 +458,13 @@ def coherence_overhead(runner: ExperimentRunner,
 def bigger_gpu(runner_factory=None, base: SystemConfig | None = None,
                scale: str = "bench", workloads=None) -> dict:
     """Speedup of NDP(Dyn)_Cache over Baseline when the SM count doubles."""
+    if runner_factory is not None:
+        import warnings
+
+        warnings.warn(
+            "bigger_gpu(runner_factory=...) is ignored and deprecated; "
+            "pass base/scale/workloads or use repro.api.make_runner",
+            DeprecationWarning, stacklevel=2)
     base = base or paper_config()
     big = base.scaled_gpu(num_sms=base.gpu.num_sms * 2)
     runner = ExperimentRunner(base=big, scale=scale, workloads=workloads)

@@ -1,0 +1,342 @@
+"""The unified programmatic facade: one front door for single runs,
+config sweeps and chaos grids.
+
+Everything the CLI can do is reachable from Python through four calls:
+
+* :func:`run` -- one simulation described by a :class:`RunRequest`
+  (keyword-only), with store round-tripping, fault arming, recovery
+  overrides, metrics and tracing.
+* :func:`sweep` -- one workload across many configurations, riding an
+  :class:`~repro.analysis.figures.ExperimentRunner` (in-memory + store +
+  parallel pool caching).
+* :func:`chaos` -- a fault-scenario degradation grid (rate x config x
+  workload), parallel by default, returning a :class:`ChaosReport`.
+* :func:`make_runner` -- the shared :class:`ExperimentRunner` factory for
+  figure/report-style grid consumers.
+
+The low-level primitives (:func:`repro.sim.runner.build_system`,
+:func:`repro.sim.runner.run_workload`) remain supported for users who
+need the :class:`~repro.sim.system.System` object itself; this module is
+the canonical entry point for everything above that.  See
+``docs/api.md``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+
+from repro.analysis.figures import FIG9_CONFIGS, ExperimentRunner, RunnerStats
+from repro.config import SystemConfig, paper_config
+from repro.faults import (FaultPlan, RecoveryPolicy, get_scenario,
+                          scenario_names)
+from repro.sim.results import RunResult
+from repro.sim.runner import build_system
+from repro.sim.store import ResultStore, cell_key
+from repro.sim.system import SimulationTimeout
+from repro.sim.validate import audit_system
+
+__all__ = ["ChaosCell", "ChaosReport", "RunOutcome", "RunRequest",
+           "SweepOutcome", "base_config", "chaos", "fault_plan",
+           "make_runner", "resolve_store", "run", "sweep"]
+
+
+# -- shared resolution helpers (subsume the old private cli plumbing) --------
+
+def base_config(*, base: SystemConfig | None = None, sms: int | None = None,
+                nsu_mhz: float | None = None, ro_cache: int | None = None,
+                target_policy: str | None = None) -> SystemConfig:
+    """The base :class:`SystemConfig` with the standard overrides applied
+    (``paper_config()`` unless ``base`` is given)."""
+    cfg = base or paper_config()
+    if sms:
+        cfg = cfg.scaled_gpu(num_sms=sms)
+    if nsu_mhz:
+        cfg = cfg.with_nsu_clock(nsu_mhz)
+    if ro_cache:
+        cfg = cfg.with_ro_cache(ro_cache)
+    if target_policy:
+        cfg = cfg.with_target_policy(target_policy)
+    return cfg
+
+
+def resolve_store(store: ResultStore | str | None = None, *,
+                  use_store: bool = True) -> ResultStore | None:
+    """The persistent store: an instance, a path, or ``$REPRO_STORE``
+    (``use_store=False`` disables it entirely, like ``--no-store``)."""
+    if not use_store:
+        return None
+    if isinstance(store, ResultStore):
+        return store
+    path = store or os.environ.get("REPRO_STORE")
+    return ResultStore(path) if path else None
+
+
+def fault_plan(faults: FaultPlan | str | None, *, rate: float = 0.01,
+               seed: int = 0,
+               recovery: RecoveryPolicy | None = None) -> FaultPlan | None:
+    """Resolve ``faults`` (a plan, a scenario name, or None) into a
+    :class:`FaultPlan`; ``recovery`` overrides the plan's policy.  Raises
+    :class:`KeyError` for an unknown scenario name."""
+    if faults is None:
+        return None
+    if isinstance(faults, FaultPlan):
+        return faults if recovery is None else replace(faults,
+                                                       recovery=recovery)
+    if faults not in scenario_names():
+        raise KeyError(f"unknown fault scenario {faults!r}; choose from "
+                       f"{', '.join(scenario_names())}")
+    return get_scenario(faults, rate=rate, seed=seed, recovery=recovery)
+
+
+# -- single runs -------------------------------------------------------------
+
+@dataclass(frozen=True, kw_only=True)
+class RunRequest:
+    """Everything one simulation needs, keyword-only and immutable.
+
+    ``faults`` is a :class:`FaultPlan` or a scenario name (parameterized
+    by ``fault_rate``/``fault_seed``); ``recovery`` overrides the plan's
+    :class:`RecoveryPolicy` (per-site timeouts, adaptive mode).  ``store``
+    is a :class:`ResultStore`, a path, or None for ``$REPRO_STORE``;
+    ``use_store=False`` forces a fresh simulation.  Faulted or
+    instrumented runs (metrics/trace) never touch the plain store.
+    """
+
+    workload: str
+    config: str = "NDP(Dyn)"
+    scale: str = "bench"
+    base: SystemConfig | None = None
+    sms: int | None = None
+    nsu_mhz: float | None = None
+    ro_cache: int | None = None
+    target_policy: str | None = None
+    faults: FaultPlan | str | None = None
+    fault_rate: float = 0.01
+    fault_seed: int = 0
+    recovery: RecoveryPolicy | None = None
+    max_cycles: int = 20_000_000
+    store: ResultStore | str | None = None
+    use_store: bool = True
+    metrics: object = None          # a MetricsRegistry, if any
+    trace: bool = False             # arm a MessageTrace on the NDP
+    audit: bool = False             # always audit (faulted runs always are)
+
+    def resolved_config(self) -> SystemConfig:
+        return base_config(base=self.base, sms=self.sms,
+                           nsu_mhz=self.nsu_mhz, ro_cache=self.ro_cache,
+                           target_policy=self.target_policy)
+
+    def resolved_plan(self) -> FaultPlan | None:
+        return fault_plan(self.faults, rate=self.fault_rate,
+                          seed=self.fault_seed, recovery=self.recovery)
+
+    def resolved_store(self) -> ResultStore | None:
+        return resolve_store(self.store, use_store=self.use_store)
+
+
+@dataclass
+class RunOutcome:
+    """What :func:`run` produced.
+
+    ``outcome`` uses the chaos vocabulary: ``clean`` (completed, no fault
+    fired), ``recovered`` (faults fired, completed, audit clean),
+    ``audit-fail`` (completed but an invariant broke) or ``fatal``
+    (deadlock -- ``result`` is None and ``error`` holds the diagnosis).
+    ``system`` is None when the result came from the store.
+    """
+
+    request: RunRequest
+    result: RunResult | None
+    system: object = None
+    outcome: str = "clean"
+    from_store: bool = False
+    store_key: str = ""
+    store_root: str | None = None
+    error: str | None = None
+    audit_failures: list[str] = field(default_factory=list)
+    trace: object = None
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome in ("clean", "recovered")
+
+
+def run(request: RunRequest | None = None, **kwargs) -> RunOutcome:
+    """Execute one simulation: ``run(RunRequest(...))`` or
+    ``run(workload="VADD", config="NDP(Dyn)", ...)``."""
+    req = request if request is not None else RunRequest(**kwargs)
+    cfg = req.resolved_config()
+    plan = req.resolved_plan()
+    store = req.resolved_store()
+    key = cell_key(req.workload, req.config, cfg, req.scale, req.max_cycles)
+    root = str(store.root) if store is not None else None
+    # Faulted runs never touch the plain store (their results depend on
+    # the plan; chaos owns plan-salted caching), and instrumented runs
+    # need a live system to read from.
+    instrumented = (plan is not None or req.metrics is not None
+                    or req.trace)
+    if store is not None and not instrumented:
+        cached = store.get(key)
+        if cached is not None:
+            return RunOutcome(request=req, result=cached, from_store=True,
+                              store_key=key, store_root=root)
+
+    system = build_system(req.workload, req.config, base=cfg,
+                          scale=req.scale, metrics=req.metrics, faults=plan)
+    trace = None
+    if req.trace and system.ndp is not None:
+        from repro.sim.tracing import MessageTrace
+        trace = MessageTrace()
+        system.ndp.trace = trace
+    try:
+        result = system.run(max_cycles=req.max_cycles)
+    except SimulationTimeout as e:
+        return RunOutcome(request=req, result=None, system=system,
+                          outcome="fatal", store_key=key, store_root=root,
+                          error=str(e), trace=trace)
+
+    failures = (audit_system(system, result)
+                if (req.audit or plan is not None) else [])
+    if failures:
+        outcome = "audit-fail"
+    elif result.extra.get("faults", {}).get("total_fired", 0):
+        outcome = "recovered"
+    else:
+        outcome = "clean"
+    if store is not None and not instrumented and not failures:
+        store.put(key, result, meta={"scale": str(req.scale)})
+    return RunOutcome(request=req, result=result, system=system,
+                      outcome=outcome, store_key=key, store_root=root,
+                      audit_failures=failures, trace=trace)
+
+
+# -- grids -------------------------------------------------------------------
+
+def make_runner(*, base: SystemConfig | None = None, sms: int | None = None,
+                nsu_mhz: float | None = None, ro_cache: int | None = None,
+                target_policy: str | None = None, scale: str = "bench",
+                workloads=None, parallel: int = 1,
+                store: ResultStore | str | None = None,
+                use_store: bool = True, max_cycles: int = 20_000_000,
+                verbose: bool = False) -> ExperimentRunner:
+    """The canonical :class:`ExperimentRunner` factory (figure/report
+    grids, benchmarks, and the building block under :func:`sweep` and
+    :func:`chaos`)."""
+    return ExperimentRunner(
+        base=base_config(base=base, sms=sms, nsu_mhz=nsu_mhz,
+                         ro_cache=ro_cache, target_policy=target_policy),
+        scale=scale, workloads=workloads, max_cycles=max_cycles,
+        verbose=verbose, parallel=max(1, parallel or 1),
+        store=resolve_store(store, use_store=use_store))
+
+
+@dataclass
+class SweepOutcome:
+    """One workload across many configurations."""
+
+    workload: str
+    configs: tuple[str, ...]
+    results: dict[str, RunResult]
+    speedups: dict[str, float]     # vs Baseline; empty if not swept
+    stats: RunnerStats
+
+
+def sweep(workload: str, configs=None, *, runner: ExperimentRunner = None,
+          **runner_kwargs) -> SweepOutcome:
+    """Sweep ``workload`` across ``configs`` (default: the Figure 9
+    columns plus NaiveNDP).  Pass a prebuilt ``runner`` to share caches,
+    or :func:`make_runner` keyword arguments to build one."""
+    configs = (tuple(configs) if configs is not None
+               else tuple(FIG9_CONFIGS) + ("NaiveNDP",))
+    if runner is None:
+        runner_kwargs.setdefault("workloads", [workload])
+        runner = make_runner(**runner_kwargs)
+    runner.prefetch(configs, workloads=[workload])
+    results = {c: runner.result(workload, c) for c in configs}
+    speedups = ({c: runner.speedup(workload, c) for c in configs}
+                if "Baseline" in configs else {})
+    return SweepOutcome(workload=workload, configs=configs, results=results,
+                        speedups=speedups, stats=runner.stats)
+
+
+# -- chaos grids -------------------------------------------------------------
+
+@dataclass
+class ChaosCell:
+    """One (workload, config, rate) cell of a chaos grid."""
+
+    outcome: str                   # clean / recovered / audit-fail / fatal
+    cycles: int | None             # None when fatal
+    slowdown: float | None         # vs the fault-free reference run
+
+    def label(self) -> str:
+        if self.slowdown is None:
+            return self.outcome
+        return f"{self.outcome} x{self.slowdown:.2f}"
+
+
+@dataclass
+class ChaosReport:
+    """A fault-scenario degradation grid plus its provenance."""
+
+    scenario: str
+    fault_seed: int
+    scale: str
+    workloads: tuple[str, ...]
+    configs: tuple[str, ...]
+    rates: tuple[float, ...]
+    ref_cycles: dict[tuple[str, str], int]
+    cells: dict[tuple[str, str, float], ChaosCell]
+    stats: RunnerStats
+    store_root: str | None
+
+    def outcome_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for cell in self.cells.values():
+            counts[cell.outcome] = counts.get(cell.outcome, 0) + 1
+        return counts
+
+    @property
+    def fatal_cells(self) -> list[tuple[str, str, float]]:
+        return [k for k, c in self.cells.items() if c.outcome == "fatal"]
+
+
+def chaos(*, scenario: str = "rdf-drop", rates=(0.0, 0.01, 0.05),
+          configs=("NDP(Dyn)", "NDP(Dyn)_Cache"), workloads=("VADD",),
+          fault_seed: int = 0, recovery: RecoveryPolicy | None = None,
+          runner: ExperimentRunner = None, **runner_kwargs) -> ChaosReport:
+    """Sweep ``scenario`` over rate x config x workload.
+
+    Reference (fault-free) cells ride the runner's normal caches; chaos
+    cells are cached under plan-fingerprint-salted keys.  With
+    ``parallel > 1`` both fan out over the hardened worker pool.  Raises
+    :class:`KeyError` for an unknown scenario name.
+    """
+    if scenario not in scenario_names():
+        raise KeyError(f"unknown fault scenario {scenario!r}; choose from "
+                       f"{', '.join(scenario_names())}")
+    workloads = tuple(workloads)
+    configs = tuple(configs)
+    rates = tuple(float(r) for r in rates)
+    if runner is None:
+        runner_kwargs.setdefault("workloads", list(workloads))
+        runner = make_runner(**runner_kwargs)
+    plans = {rate: get_scenario(scenario, rate=rate, seed=fault_seed,
+                                recovery=recovery) for rate in rates}
+    # Fault-free references first (plain store keys), then the grid.
+    runner.prefetch(configs, workloads=workloads)
+    ref = {(w, c): runner.result(w, c).cycles
+           for w in workloads for c in configs}
+    grid = runner.chaos_grid(plans, configs, workloads)
+    cells = {}
+    for (w, c, rate), (outcome, res) in grid.items():
+        cells[(w, c, rate)] = ChaosCell(
+            outcome=outcome,
+            cycles=res.cycles if res is not None else None,
+            slowdown=(res.cycles / ref[(w, c)] if res is not None else None))
+    return ChaosReport(
+        scenario=scenario, fault_seed=fault_seed, scale=str(runner.scale),
+        workloads=workloads, configs=configs, rates=rates, ref_cycles=ref,
+        cells=cells, stats=runner.stats,
+        store_root=str(runner.store.root) if runner.store else None)

@@ -30,50 +30,48 @@ import argparse
 import os
 import sys
 
+from repro import api
 from repro.analysis import figures as F
 from repro.analysis import tables as T
 from repro.analysis.plots import bar_chart, line_plot
 from repro.config import paper_config
 from repro.energy import compute_energy
 from repro.sim.runner import config_variants, make_config
-from repro.sim.store import ResultStore, cell_key
 from repro.workloads import workload_names
+
+# The commands below are thin adapters over the repro.api facade: they
+# parse flags, build RunRequest/make_runner arguments, and print.  All
+# resolution logic (config overrides, store selection, fault plans,
+# recovery policies) lives in repro/api.py.
+
+
+def _config_kwargs(args) -> dict:
+    """The base-config override flags, as api.base_config keywords."""
+    return {"sms": args.sms, "nsu_mhz": args.nsu_mhz,
+            "ro_cache": args.ro_cache, "target_policy": args.target_policy}
 
 
 def _base_config(args):
-    cfg = paper_config()
-    if args.sms:
-        cfg = cfg.scaled_gpu(num_sms=args.sms)
-    if args.nsu_mhz:
-        cfg = cfg.with_nsu_clock(args.nsu_mhz)
-    if args.ro_cache:
-        cfg = cfg.with_ro_cache(args.ro_cache)
-    if args.target_policy:
-        cfg = cfg.with_target_policy(args.target_policy)
-    return cfg
+    return api.base_config(**_config_kwargs(args))
 
 
-def _fault_plan(args):
-    """The FaultPlan selected by ``--faults``/``--fault-rate``/``--fault-seed``
-    (None when fault injection is off)."""
-    name = getattr(args, "faults", None)
-    if not name:
+def _recovery_override(args):
+    """A RecoveryPolicy built from the --ack-timeout/--mshr-timeout/
+    --max-retries/--adaptive-recovery flags (None when untouched)."""
+    if not (getattr(args, "ack_timeout", None)
+            or getattr(args, "mshr_timeout", None)
+            or getattr(args, "max_retries", None) is not None
+            or getattr(args, "adaptive_recovery", False)):
         return None
-    from repro.faults import get_scenario, scenario_names
-
-    if name not in scenario_names():
-        print(f"unknown fault scenario {name!r}; choose from "
-              f"{', '.join(scenario_names())}", file=sys.stderr)
-        raise SystemExit(2)
-    return get_scenario(name, rate=args.fault_rate, seed=args.fault_seed)
-
-
-def _store(args) -> ResultStore | None:
-    """The persistent store selected by ``--store``/``$REPRO_STORE``."""
-    if getattr(args, "no_store", False):
-        return None
-    path = getattr(args, "store", None) or os.environ.get("REPRO_STORE")
-    return ResultStore(path) if path else None
+    from repro.faults import RecoveryPolicy
+    policy = RecoveryPolicy(
+        ack_timeout=args.ack_timeout or 3000,
+        max_retries=(args.max_retries if args.max_retries is not None
+                     else 3),
+        adaptive=bool(args.adaptive_recovery))
+    if args.mshr_timeout:
+        policy = policy.with_site_timeout("mshr", args.mshr_timeout)
+    return policy
 
 
 def _print_store_stats(runner: F.ExperimentRunner) -> None:
@@ -84,13 +82,14 @@ def _print_store_stats(runner: F.ExperimentRunner) -> None:
           f"memory hits: {s.memory_hits}{where}")
 
 
-def _runner(args) -> F.ExperimentRunner:
+def _runner(args, **overrides) -> F.ExperimentRunner:
     workloads = (args.workloads.split(",") if args.workloads
                  else workload_names())
-    return F.ExperimentRunner(base=_base_config(args), scale=args.scale,
-                              workloads=workloads, verbose=True,
-                              parallel=args.parallel or 1,
-                              store=_store(args))
+    kwargs = dict(scale=args.scale, workloads=workloads, verbose=True,
+                  parallel=args.parallel or 1, store=args.store,
+                  use_store=not args.no_store, **_config_kwargs(args))
+    kwargs.update(overrides)
+    return api.make_runner(**kwargs)
 
 
 def cmd_list(args) -> int:
@@ -102,60 +101,49 @@ def cmd_list(args) -> int:
 
 
 def cmd_run(args) -> int:
-    cfg = _base_config(args)
-    store = _store(args)
-    plan = _fault_plan(args)
-    # Faulted runs never touch the plain store: their results depend on
-    # the plan, and the chaos command owns plan-salted caching.
-    instrumented = args.stats or args.trace or args.metrics or plan
-    key = cell_key(args.workload, args.config, cfg, args.scale, 20_000_000)
-    r = None
-    if store is not None and not instrumented:
-        r = store.get(key)
-        if r is not None:
-            print(f"[store] hit {key[:12]}... ({store.root})")
-    if r is None:
-        from repro.sim.runner import build_system
+    registry = None
+    if args.metrics:
+        from repro.sim.metrics import MetricsRegistry
 
-        registry = None
-        if args.metrics:
-            from repro.sim.metrics import MetricsRegistry
-
-            # Fail before the simulation, not after it.
-            try:
-                open(args.metrics, "w").close()
-            except OSError as e:
-                print(f"cannot write metrics to {args.metrics}: {e}",
-                      file=sys.stderr)
-                return 2
-            registry = MetricsRegistry()
-        system = build_system(args.workload, args.config, base=cfg,
-                              scale=args.scale, metrics=registry,
-                              faults=plan)
-        trace = None
-        if args.trace and system.ndp is not None:
-            from repro.sim.tracing import MessageTrace
-
-            trace = MessageTrace()
-            system.ndp.trace = trace
-        from repro.sim.system import SimulationTimeout
-
+        # Fail before the simulation, not after it.
         try:
-            r = system.run()
-        except SimulationTimeout as e:
-            print(f"FATAL: {e}", file=sys.stderr)
-            if plan is not None:
-                inj = system.fault_injector
-                print(f"  plan {plan.name} seed {plan.seed}: "
-                      f"{inj.total_fired} faults fired {inj.fired}",
-                      file=sys.stderr)
-            return 1
-        if store is not None and plan is None:
-            store.put(key, r, meta={"scale": args.scale})
+            open(args.metrics, "w").close()
+        except OSError as e:
+            print(f"cannot write metrics to {args.metrics}: {e}",
+                  file=sys.stderr)
+            return 2
+        registry = MetricsRegistry()
+    try:
+        req = api.RunRequest(
+            workload=args.workload, config=args.config, scale=args.scale,
+            faults=args.faults or None, fault_rate=args.fault_rate,
+            fault_seed=args.fault_seed, recovery=_recovery_override(args),
+            store=args.store,
+            # --stats needs a live system; force a fresh simulation.
+            use_store=not (args.no_store or args.stats),
+            metrics=registry, trace=args.trace, **_config_kwargs(args))
+        out = api.run(req)
+    except KeyError as e:
+        print(str(e.args[0]) if e.args else str(e), file=sys.stderr)
+        return 2
+    plan = req.resolved_plan()
+    if out.outcome == "fatal":
+        print(f"FATAL: {out.error}", file=sys.stderr)
+        if plan is not None:
+            inj = out.system.fault_injector
+            print(f"  plan {plan.name} seed {plan.seed}: "
+                  f"{inj.total_fired} faults fired {inj.fired}",
+                  file=sys.stderr)
+        return 1
+    r = out.result
+    if out.from_store:
+        print(f"[store] hit {out.store_key[:12]}... ({out.store_root})")
+    else:
         if args.stats:
             from repro.analysis.statsdump import dump_stats
 
-            print(dump_stats(system, r))
+            print(dump_stats(out.system, r))
+        trace = out.trace
         if trace is not None and trace.instances():
             print(trace.timeline(trace.instances()[0]))
             print("\nmessage summary:", trace.summary())
@@ -186,7 +174,7 @@ def cmd_run(args) -> int:
         if rec:
             print("  recovery          " + "  ".join(
                 f"{k}={v}" for k, v in sorted(rec.items())))
-    e = compute_energy(r, make_config(args.config, cfg))
+    e = compute_energy(r, make_config(args.config, req.resolved_config()))
     for k, v in e.as_dict().items():
         print(f"  energy {k:<16s} {v / 1e6:>12.3f} mJ")
     return 0
@@ -194,19 +182,16 @@ def cmd_run(args) -> int:
 
 def cmd_sweep(args) -> int:
     runner = _runner(args)
-    configs = list(F.FIG9_CONFIGS) + ["NaiveNDP"]
-    runner.prefetch(configs, workloads=[args.workload])
-    series = {}
-    for c in configs:
-        series[c] = runner.speedup(args.workload, c)
-    print(bar_chart(series, title=f"{args.workload}: speedup over Baseline",
+    out = api.sweep(args.workload, runner=runner)
+    print(bar_chart(out.speedups,
+                    title=f"{args.workload}: speedup over Baseline",
                     baseline=1.0))
     _print_store_stats(runner)
     return 0
 
 
 def cmd_store(args) -> int:
-    store = _store(args)
+    store = api.resolve_store(args.store, use_store=not args.no_store)
     if store is None:
         print("no store configured: pass --store DIR or set $REPRO_STORE",
               file=sys.stderr)
@@ -298,16 +283,6 @@ def cmd_figure(args) -> int:
 def cmd_chaos(args) -> int:
     """Sweep a fault scenario's rate over a workload/config grid and print
     a degradation table (outcome + slowdown per cell)."""
-    from repro.faults import get_scenario, scenario_names
-    from repro.sim.runner import build_system
-    from repro.sim.store import CODE_VERSION_SALT
-    from repro.sim.system import SimulationTimeout
-    from repro.sim.validate import audit_system
-
-    if args.scenario not in scenario_names():
-        print(f"unknown fault scenario {args.scenario!r}; choose from "
-              f"{', '.join(scenario_names())}", file=sys.stderr)
-        return 2
     try:
         rates = [float(x) for x in args.rates.split(",")]
     except ValueError:
@@ -316,72 +291,32 @@ def cmd_chaos(args) -> int:
         return 2
     configs = [c.strip() for c in args.configs.split(",") if c.strip()]
     workloads = (args.workloads.split(",") if args.workloads else ["VADD"])
-    cfg = _base_config(args)
-    store = _store(args)
-    max_cycles = args.max_cycles
-    sims = hits = 0
+    # Chaos grids are embarrassingly parallel; default to the hardened
+    # pool unless --parallel pins a width explicitly.
+    parallel = args.parallel or min(8, max(1, (os.cpu_count() or 2) - 1))
+    runner = _runner(args, verbose=False, parallel=parallel,
+                     max_cycles=args.max_cycles, workloads=workloads)
+    try:
+        report = api.chaos(scenario=args.scenario, rates=rates,
+                           configs=configs, workloads=workloads,
+                           fault_seed=args.fault_seed,
+                           recovery=_recovery_override(args), runner=runner)
+    except KeyError as e:
+        print(str(e.args[0]) if e.args else str(e), file=sys.stderr)
+        return 2
 
-    def classify(system, result) -> str:
-        fired = result.extra.get("faults", {}).get("total_fired", 0)
-        if audit_system(system, result):
-            return "audit-fail"
-        return "recovered" if fired else "clean"
-
+    width = max(max(len(c) for c in configs), 17) + 2
     for w in workloads:
-        # Fault-free reference cycles per config (plain store key).
-        ref: dict[str, int] = {}
-        for c in configs:
-            key = cell_key(w, c, cfg, args.scale, max_cycles)
-            r = store.get(key) if store is not None else None
-            if r is None:
-                sims += 1
-                r = build_system(w, c, base=cfg,
-                                 scale=args.scale).run(max_cycles=max_cycles)
-                if store is not None:
-                    store.put(key, r, meta={"scale": args.scale})
-            else:
-                hits += 1
-            ref[c] = r.cycles
-
-        width = max(max(len(c) for c in configs), 17) + 2
         print(f"\n{w} / {args.scenario} (seed {args.fault_seed}, "
               f"scale {args.scale})")
         print("  rate      " + "".join(f"{c:>{width}s}" for c in configs))
         for rate in rates:
-            cells = []
-            for c in configs:
-                plan = get_scenario(args.scenario, rate=rate,
-                                    seed=args.fault_seed)
-                salt = f"{CODE_VERSION_SALT}|chaos|{plan.fingerprint()}"
-                key = cell_key(w, c, cfg, args.scale, max_cycles, salt=salt)
-                r = store.get(key) if store is not None else None
-                if r is not None:
-                    # Only audit-clean completions are ever cached.
-                    hits += 1
-                    fired = r.extra.get("faults", {}).get("total_fired", 0)
-                    outcome = "recovered" if fired else "clean"
-                else:
-                    sims += 1
-                    system = build_system(w, c, base=cfg, scale=args.scale,
-                                          faults=plan)
-                    try:
-                        r = system.run(max_cycles=max_cycles)
-                    except SimulationTimeout:
-                        r = None
-                        outcome = "fatal"
-                    else:
-                        outcome = classify(system, r)
-                        if store is not None and outcome != "audit-fail":
-                            store.put(key, r, meta={
-                                "scale": args.scale, "chaos": plan.name})
-                if r is None:
-                    cells.append("fatal")
-                else:
-                    cells.append(f"{outcome} x{r.cycles / ref[c]:.2f}")
+            cells = [report.cells[(w, c, rate)].label() for c in configs]
             print(f"  {rate:<8g}  " + "".join(
                 f"{cell:>{width}s}" for cell in cells))
-    print(f"\n[chaos] simulations: {sims}, store hits: {hits}"
-          + (f" ({store.root})" if store is not None else ""))
+    s = report.stats
+    print(f"\n[chaos] simulations: {s.sim_runs}, store hits: {s.store_hits}"
+          + (f" ({report.store_root})" if report.store_root else ""))
     return 0
 
 
@@ -398,6 +333,22 @@ def cmd_report(args) -> int:
         print(text)
     _print_store_stats(runner)
     return 0
+
+
+def _add_recovery_flags(sub) -> None:
+    """Recovery-policy overrides shared by ``run`` and ``chaos`` (see
+    docs/fault-injection.md -- they only matter with faults armed)."""
+    sub.add_argument("--ack-timeout", type=int, metavar="CYCLES",
+                     help="offload ACK watchdog timeout (default 3000)")
+    sub.add_argument("--mshr-timeout", type=int, metavar="CYCLES",
+                     help="baseline fill watchdog timeout "
+                          "(default: the ACK timeout)")
+    sub.add_argument("--max-retries", type=int, metavar="N",
+                     help="offload replays before inline fallback "
+                          "(default 3)")
+    sub.add_argument("--adaptive-recovery", action="store_true",
+                     help="derive watchdog deadlines from an EWMA of "
+                          "observed latencies instead of static timeouts")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -442,6 +393,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="per-event fault probability (default 0.01)")
     pr.add_argument("--fault-seed", type=int, default=0,
                     help="fault plan seed (deterministic per seed)")
+    _add_recovery_flags(pr)
     pr.set_defaults(fn=cmd_run)
 
     ps = sub.add_parser("sweep")
@@ -472,6 +424,7 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--fault-seed", type=int, default=0,
                     help="fault plan seed (deterministic per seed)")
     pc.add_argument("--max-cycles", type=int, default=20_000_000)
+    _add_recovery_flags(pc)
     pc.set_defaults(fn=cmd_chaos)
 
     pre = sub.add_parser("report")

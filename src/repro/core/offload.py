@@ -134,8 +134,11 @@ class NDPController:
         self._uid_counter = 0
         # Optional packet-level tracing (repro.sim.tracing.MessageTrace).
         self.trace = None
-        # Protocol recovery (repro.faults): a RecoveryPolicy when armed.
+        # Protocol recovery (repro.faults): a RecoveryPolicy when armed,
+        # plus the system-wide TimeoutTracker ("ack" site) that resolves
+        # the watchdog deadline -- static, per-site override or adaptive.
         self.recovery = None
+        self.timeouts = None
         self.rstats = RecoveryStats()
         self._instances: dict[tuple, OffloadInstance] = {}
         self._watchdogs: list[tuple] = []   # (deadline, uid, token) heap
@@ -449,6 +452,9 @@ class NDPController:
             return
         inst.ack_arrived = True
         self.stats.acks += 1
+        if self.timeouts is not None:
+            # Feed the adaptive deadline: offload-issue -> ACK round-trip.
+            self.timeouts.observe("ack", self.engine.now - inst.start_cycle)
         if self.decider is not None and hasattr(self.decider,
                                                 "record_instance"):
             self.decider.record_instance(
@@ -545,8 +551,10 @@ class NDPController:
 
     def _arm_watchdog(self, inst: OffloadInstance) -> None:
         inst.wd_token += 1
-        deadline = self.engine.now + self.recovery.ack_timeout
-        heapq.heappush(self._watchdogs, (deadline, inst.uid, inst.wd_token))
+        timeout = (self.timeouts.timeout("ack") if self.timeouts is not None
+                   else self.recovery.ack_timeout)
+        heapq.heappush(self._watchdogs,
+                       (self.engine.now + timeout, inst.uid, inst.wd_token))
 
     def next_watchdog_deadline(self) -> int | None:
         """Earliest armed deadline (the system folds this into its

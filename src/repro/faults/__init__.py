@@ -8,7 +8,9 @@ the recovery semantics, and ``repro chaos --help`` for the sweep CLI.
 from repro.faults.inject import FaultInjector
 from repro.faults.plan import (FaultPlan, FaultSpec, RecoveryPolicy,
                                get_scenario, scenario_names)
-from repro.faults.recovery import RecoveryStats
+from repro.faults.recovery import (BaselineRecoveryStats, RecoveryStats,
+                                   TimeoutTracker)
 
-__all__ = ["FaultInjector", "FaultPlan", "FaultSpec", "RecoveryPolicy",
-           "RecoveryStats", "get_scenario", "scenario_names"]
+__all__ = ["BaselineRecoveryStats", "FaultInjector", "FaultPlan",
+           "FaultSpec", "RecoveryPolicy", "RecoveryStats",
+           "TimeoutTracker", "get_scenario", "scenario_names"]

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 
 #: Sites packets flow through (hooked in repro.network.fabric).
 PACKET_SITES = ("mem_net", "gpu_link_down", "gpu_link_up")
@@ -74,13 +74,61 @@ class FaultSpec:
             raise ValueError(f"rate {self.rate} outside [0, 1]")
 
 
+#: Watchdog sites sharing one policy: "ack" guards offload instances on
+#: the NDP controller, "mshr" guards baseline L2 fills on the GPU memory
+#: system (see repro.sim.memsys).
+WATCHDOG_SITES = ("ack", "mshr")
+
+
 @dataclass(frozen=True)
 class RecoveryPolicy:
-    """Bounds for the protocol-recovery layer (ACK watchdogs)."""
+    """Bounds and timeout model for both recovery layers.
+
+    Two watchdog *sites* share one policy: ``"ack"`` (offload ACK
+    watchdogs on the NDP controller, PR 2) and ``"mshr"`` (baseline
+    L2-fill watchdogs on the GPU memory system).  ``timeout_for`` resolves
+    the static deadline per site -- ``site_timeouts`` overrides win,
+    otherwise both sites fall back to ``ack_timeout``.  With ``adaptive``
+    set, a runtime :class:`~repro.faults.recovery.TimeoutTracker` replaces
+    the static deadline by ``timeout_scale`` times an EWMA of the site's
+    observed completion latencies (floored at ``min_timeout``), so slow
+    congested runs stop retrying healthy packets and fast runs detect
+    losses sooner.
+    """
 
     ack_timeout: int = 3000     # SM cycles without progress before acting
     max_retries: int = 3        # replay attempts before inline fallback
     enabled: bool = True
+    mshr_max_retries: int = 12  # baseline fill reissues before giving up
+    site_timeouts: tuple[tuple[str, int], ...] = ()  # (site, cycles) pairs
+    adaptive: bool = False      # derive deadlines from observed latency
+    ewma_alpha: float = 0.25    # smoothing for observed latencies
+    timeout_scale: float = 4.0  # adaptive deadline = scale * EWMA latency
+    min_timeout: int = 100      # adaptive deadlines never drop below this
+
+    def __post_init__(self) -> None:
+        for site, cycles in self.site_timeouts:
+            if site not in WATCHDOG_SITES:
+                raise ValueError(f"unknown watchdog site {site!r}; "
+                                 f"choose from {WATCHDOG_SITES}")
+            if cycles <= 0:
+                raise ValueError(f"timeout for {site!r} must be positive")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha {self.ewma_alpha} outside (0, 1]")
+        if self.timeout_scale <= 0:
+            raise ValueError("timeout_scale must be positive")
+
+    def timeout_for(self, site: str) -> int:
+        """Static deadline for ``site`` (override, else ``ack_timeout``)."""
+        for name, cycles in self.site_timeouts:
+            if name == site:
+                return cycles
+        return self.ack_timeout
+
+    def with_site_timeout(self, site: str, cycles: int) -> RecoveryPolicy:
+        """A copy with ``site``'s static deadline overridden."""
+        kept = tuple((n, c) for n, c in self.site_timeouts if n != site)
+        return replace(self, site_timeouts=kept + ((site, cycles),))
 
 
 @dataclass(frozen=True)

@@ -1,15 +1,20 @@
-"""Protocol-recovery bookkeeping.
+"""Recovery bookkeeping shared by both recovery layers.
 
 The recovery mechanics live in :class:`~repro.core.offload.NDPController`
-(watchdogs, replay, inline fallback, credit reconciliation); this module
-holds the counters they surface.  The counters exist on every controller
-so the post-run audit can read them unconditionally, but they only move
-when a fault plan with a recovery policy is armed.
+(ACK watchdogs, replay, inline fallback, credit reconciliation) and
+:class:`~repro.sim.memsys.GPUMemSystem` (MSHR fill watchdogs, bounded
+reissue); this module holds the counters they surface and the
+:class:`TimeoutTracker` that resolves their deadlines.  The counters
+exist on every component so the post-run audit can read them
+unconditionally, but they only move when a fault plan with a recovery
+policy is armed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
+
+from repro.faults.plan import RecoveryPolicy
 
 
 @dataclass
@@ -35,3 +40,88 @@ class RecoveryStats:
 
     def metrics_counters(self) -> dict[str, int]:
         return {f"recovery.{k}": v for k, v in self.as_dict().items()}
+
+
+@dataclass
+class BaselineRecoveryStats:
+    """Counters for the baseline-load (MSHR fill) recovery path.
+
+    Field names are disjoint from :class:`RecoveryStats` because both end
+    up merged into one ``extra["recovery"]`` dict on the run result.
+    Conservation: every issued fetch attempt ends exactly one way, so
+    ``fetch_attempts == fills + fills_lost + fills_dup`` (audited).
+    """
+
+    fetch_attempts: int = 0       # DRAM fetches issued (incl. reissues)
+    fills: int = 0                # attempts whose response filled the L2
+    fills_lost: int = 0           # attempts whose packet died in flight
+    fills_dup: int = 0            # late duplicate responses, dropped
+    mshr_watchdog_fires: int = 0  # fill deadlines that expired
+    mshr_reissues: int = 0        # reissues (loss-notified or watchdog)
+    mshr_gaveup: int = 0          # fills abandoned after mshr_max_retries
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def metrics_counters(self) -> dict[str, int]:
+        return {f"recovery.{k}": v for k, v in self.as_dict().items()}
+
+
+class TimeoutTracker:
+    """Per-site recovery deadlines: static, overridden, or adaptive.
+
+    One tracker is built per armed system and shared by the ACK watchdog
+    (site ``"ack"``) and the MSHR watchdog (site ``"mshr"``), so both
+    resolve deadlines through the same policy.  In adaptive mode each
+    site's observed completion latencies feed an EWMA and the deadline
+    becomes ``max(min_timeout, timeout_scale * ewma)`` -- deliberately
+    unclamped above so sustained congestion widens the deadline instead
+    of triggering retry storms.  Until a site has an observation it uses
+    its static deadline.
+    """
+
+    def __init__(self, policy: RecoveryPolicy) -> None:
+        self.policy = policy
+        self._ewma: dict[str, float] = {}
+        self._observations: dict[str, int] = {}
+
+    def observe(self, site: str, latency: int) -> None:
+        """Record one completed round-trip (a no-op unless adaptive)."""
+        if not self.policy.adaptive:
+            return
+        prev = self._ewma.get(site)
+        if prev is None:
+            self._ewma[site] = float(latency)
+        else:
+            a = self.policy.ewma_alpha
+            self._ewma[site] = (1.0 - a) * prev + a * float(latency)
+        self._observations[site] = self._observations.get(site, 0) + 1
+
+    def timeout(self, site: str) -> int:
+        p = self.policy
+        if p.adaptive:
+            ewma = self._ewma.get(site)
+            if ewma is not None:
+                return max(p.min_timeout, int(round(p.timeout_scale * ewma)))
+        return p.timeout_for(site)
+
+    def snapshot(self) -> dict[str, dict[str, int]]:
+        """Current deadline + EWMA state per observed/configured site."""
+        from repro.faults.plan import WATCHDOG_SITES
+        out: dict[str, dict[str, int]] = {}
+        for site in WATCHDOG_SITES:
+            entry = {"timeout": self.timeout(site),
+                     "observations": self._observations.get(site, 0)}
+            ewma = self._ewma.get(site)
+            if ewma is not None:
+                entry["ewma"] = int(round(ewma))
+            out[site] = entry
+        return out
+
+    def metrics_counters(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for site, entry in self.snapshot().items():
+            out[f"recovery.timeout.{site}"] = entry["timeout"]
+            if "ewma" in entry:
+                out[f"recovery.ewma.{site}"] = entry["ewma"]
+        return out

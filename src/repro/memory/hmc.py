@@ -48,12 +48,16 @@ class HMCStack:
     def access_line(self, line_addr: int, is_write: bool,
                     on_done: Callable[[DRAMRequest], None],
                     meta: object = None,
-                    noc_bytes: int = LINE_SIZE) -> None:
+                    noc_bytes: int = LINE_SIZE,
+                    on_lost: Callable[[DRAMRequest], None] | None = None,
+                    ) -> None:
         """Access one cache line in this stack's DRAM.
 
         ``on_done`` fires when the data is available at the logic layer
         (read) or written (write).  ``noc_bytes`` is charged to the
-        intra-HMC NoC for the request+response traversal.
+        intra-HMC NoC for the request+response traversal.  ``on_lost``
+        fires instead when an armed ``vault_read`` fault swallows the
+        read response (see :class:`~repro.memory.vault.DRAMRequest`).
         """
         if self.amap.hmc_of(line_addr * LINE_SIZE) != self.hmc_id:
             raise ValueError(
@@ -63,7 +67,8 @@ class HMCStack:
         self.counters.add("intra_hmc", noc_bytes)
         req = DRAMRequest(line_addr=line_addr, is_write=is_write,
                           on_done=on_done, bank=bank, row=row,
-                          extra_latency=NOC_LATENCY, meta=meta)
+                          extra_latency=NOC_LATENCY, meta=meta,
+                          on_lost=on_lost)
         self.vaults[vault_idx].submit(req)
 
     # -- convenience --------------------------------------------------------

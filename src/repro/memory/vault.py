@@ -65,6 +65,7 @@ class DRAMRequest:
     row: int = 0
     extra_latency: int = 0   # logic-layer NoC traversal after the access
     meta: object = None
+    on_lost: Callable[["DRAMRequest"], None] | None = None  # loss notify
 
 
 class VaultController:
@@ -207,6 +208,13 @@ class VaultController:
                     and self.faults.decide("vault_read") is not None):
                 # Read-response loss: the access happened (timing, stats,
                 # row state) but its response never reaches the requester.
+                # Requesters that registered ``on_lost`` (the recoverable
+                # baseline fill path) learn of the loss at the cycle the
+                # response would have arrived and may reissue; the rest
+                # rely on their own watchdogs.
+                if req.on_lost is not None:
+                    self.engine.at(ready + req.extra_latency,
+                                   lambda r=req: r.on_lost(r))
                 continue
             self.engine.at(ready + req.extra_latency,
                            lambda r=req: r.on_done(r))

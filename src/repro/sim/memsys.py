@@ -12,10 +12,12 @@ The NDP path uses :meth:`rdf_probe` (a tag probe of L1+L2 without fill) and
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable
 
 from repro.config import LINE_SIZE, SystemConfig
 from repro.core.packets import PacketSizes
+from repro.faults.recovery import BaselineRecoveryStats
 from repro.gpu.cache import Cache, CacheStats, MSHRFile
 from repro.gpu.coalescer import MemAccess
 from repro.memory.address import AddressMap
@@ -28,6 +30,24 @@ XBAR_LATENCY = 8
 #: Crossbar slot time per request at an L2 slice ingress port: the xbar
 #: runs at 1250 MHz (Table 2), one request per xbar cycle per slice.
 XBAR_SLOT = 700.0 / 1250.0
+
+
+class _FetchState:
+    """In-flight recoverable L2 fill: one per primary L2 miss.
+
+    ``attempt`` stamps every packet of the current issue so loss
+    notifications for superseded attempts are ignored; ``wd_token``
+    invalidates stale watchdog heap entries (the heap is never purged,
+    mirroring the offload-recovery pattern in ``repro.core.offload``).
+    """
+
+    __slots__ = ("attempt", "retries", "issued_at", "wd_token")
+
+    def __init__(self) -> None:
+        self.attempt = 0
+        self.retries = 0
+        self.issued_at = 0
+        self.wd_token = 0
 
 
 class GPUMemSystem:
@@ -67,6 +87,16 @@ class GPUMemSystem:
         self.invalidation_bytes = 0
         self.dram_read_requests = 0
         self.store_bytes = 0
+        # Baseline-path recovery (repro.faults): the system arms these
+        # together with the fault injector.  ``recovery`` is the plan's
+        # RecoveryPolicy and ``timeouts`` the TimeoutTracker shared with
+        # the NDP ACK watchdog; both stay None in unarmed runs, whose
+        # event stream is untouched.
+        self.recovery = None
+        self.timeouts = None
+        self.rstats = BaselineRecoveryStats()
+        self._fetches: dict[tuple[int, int], _FetchState] = {}
+        self._watchdogs: list[tuple[int, int, int, int]] = []
 
     # -- baseline / inline loads --------------------------------------------------
 
@@ -113,6 +143,12 @@ class GPUMemSystem:
         self._fetch_from_dram(part, line)
 
     def _fetch_from_dram(self, part: int, line: int) -> None:
+        if self.recovery is not None:
+            st = _FetchState()
+            self._fetches[(part, line)] = st
+            self._issue_fetch(part, line, st)
+            self._arm_watchdog(part, line, st)
+            return
         self.dram_read_requests += 1
         req_size = PacketSizes.mem_read_request()
         resp_size = PacketSizes.mem_read_response()
@@ -127,7 +163,90 @@ class GPUMemSystem:
 
         self.gpu_links.to_hmc(part, req_size, at_hmc)
 
+    # -- recoverable fetch path (armed runs only) ---------------------------
+
+    def _issue_fetch(self, part: int, line: int, st: _FetchState) -> None:
+        """One (re)issue of a recoverable L2 fill.  Every packet of the
+        chain carries a ``lost`` callback stamped with the attempt, so a
+        drop anywhere (down-link, vault read, up-link) notifies us and a
+        notification for a superseded attempt is ignored."""
+        self.dram_read_requests += 1
+        self.rstats.fetch_attempts += 1
+        st.issued_at = self.engine.now
+        attempt = st.attempt
+        req_size = PacketSizes.mem_read_request()
+        resp_size = PacketSizes.mem_read_response()
+
+        def lost() -> None:
+            self._fetch_lost(part, line, attempt)
+
+        def at_hmc() -> None:
+            self.hmcs[part].access_line(line, False,
+                                        lambda r: send_response(),
+                                        on_lost=lambda r: lost())
+
+        def send_response() -> None:
+            self.gpu_links.to_gpu(part, resp_size,
+                                  lambda: self._fill_l2(part, line),
+                                  lost=lost)
+
+        self.gpu_links.to_hmc(part, req_size, at_hmc, lost=lost)
+
+    def _fetch_lost(self, part: int, line: int, attempt: int) -> None:
+        """A request/response of fill attempt ``attempt`` died in flight.
+        Reissue immediately unless a newer attempt (or the fill itself)
+        already superseded this one."""
+        self.rstats.fills_lost += 1
+        st = self._fetches.get((part, line))
+        if st is None or st.attempt != attempt:
+            return
+        self._reissue(part, line, st)
+
+    def _reissue(self, part: int, line: int, st: _FetchState) -> None:
+        if st.retries >= self.recovery.mshr_max_retries:
+            # Abandon: the fill can never complete, so the run surfaces
+            # as a deadlock (chaos outcome "fatal") instead of spinning.
+            self.rstats.mshr_gaveup += 1
+            return
+        st.retries += 1
+        st.attempt += 1
+        self.rstats.mshr_reissues += 1
+        self._issue_fetch(part, line, st)
+        self._arm_watchdog(part, line, st)
+
+    def _arm_watchdog(self, part: int, line: int, st: _FetchState) -> None:
+        st.wd_token += 1
+        deadline = self.engine.now + self.timeouts.timeout("mshr")
+        heapq.heappush(self._watchdogs, (deadline, part, line, st.wd_token))
+
+    def next_watchdog_deadline(self) -> int | None:
+        """Earliest pending fill deadline (folded into the system loop's
+        fast-forward so quiet regions don't skip watchdog polls)."""
+        return self._watchdogs[0][0] if self._watchdogs else None
+
+    def poll_watchdogs(self, now: int) -> None:
+        """Reissue fills whose deadline expired; called by ``System.run``
+        each polled cycle, like the NDP ACK watchdog."""
+        wd = self._watchdogs
+        while wd and wd[0][0] <= now:
+            _, part, line, token = heapq.heappop(wd)
+            st = self._fetches.get((part, line))
+            if st is None or token != st.wd_token:
+                continue   # filled or superseded; stale heap entry
+            self.rstats.mshr_watchdog_fires += 1
+            self._reissue(part, line, st)
+
     def _fill_l2(self, part: int, line: int) -> None:
+        if self.recovery is not None:
+            st = self._fetches.pop((part, line), None)
+            if st is None:
+                # A reissue and the (delayed) original both arrived; the
+                # first response already filled the MSHR.  Exactly-once:
+                # count and drop the duplicate.
+                self.rstats.fills_dup += 1
+                return
+            self.rstats.fills += 1
+            self.timeouts.observe("mshr", self.engine.now - st.issued_at)
         self.l2[part].insert(line)
         self.l2_mshr[part].fill(line)
         waiters = self._l2_waiters[part]

@@ -123,8 +123,19 @@ class Sweep:
 
 def run_sweep(workload: str, config_names, *, base: SystemConfig | None = None,
               scale: str = "ci", max_cycles: int = 20_000_000) -> Sweep:
-    results = {}
-    for name in config_names:
-        results[name] = run_workload(workload, name, base=base, scale=scale,
-                                     max_cycles=max_cycles)
-    return Sweep(workload, results)
+    """Deprecated: use :func:`repro.api.sweep` instead.
+
+    Kept as a thin shim so pre-facade harnesses keep working; it
+    delegates to the facade with the result store disabled (the old
+    behaviour -- every call simulated from scratch).
+    """
+    import warnings
+
+    warnings.warn(
+        "repro.sim.runner.run_sweep is deprecated; use repro.api.sweep",
+        DeprecationWarning, stacklevel=2)
+    from repro import api
+
+    out = api.sweep(workload, configs=tuple(config_names), base=base,
+                    scale=scale, max_cycles=max_cycles, use_store=False)
+    return Sweep(workload, out.results)

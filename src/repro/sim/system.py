@@ -101,8 +101,17 @@ class System:
                 nsu.faults = inj
             if self.ndp is not None:
                 self.ndp.credits.faults = inj
-                if faults.recovery is not None and faults.recovery.enabled:
+            if faults.recovery is not None and faults.recovery.enabled:
+                # One shared tracker so the ACK watchdog (NDP) and the
+                # MSHR watchdog (baseline fills) resolve deadlines from
+                # the same policy / adaptive EWMA state.
+                from repro.faults.recovery import TimeoutTracker
+                tracker = TimeoutTracker(faults.recovery)
+                self.memsys.recovery = faults.recovery
+                self.memsys.timeouts = tracker
+                if self.ndp is not None:
                     self.ndp.recovery = faults.recovery
+                    self.ndp.timeouts = tracker
 
     # -- workload loading ----------------------------------------------------------
 
@@ -145,11 +154,15 @@ class System:
                           if metrics is not None else None)
         ndp = self.ndp
         rec = ndp is not None and ndp.recovery is not None
+        memsys = self.memsys
+        mem_rec = memsys.recovery is not None
 
         while True:
             engine.process_due()
             if rec:
                 ndp.poll_watchdogs(engine.now)
+            if mem_rec:
+                memsys.poll_watchdogs(engine.now)
             live = 0
             for sm in sms:
                 sm.tick()
@@ -191,6 +204,10 @@ class System:
                 nt = engine.next_event_time()
                 if rec:
                     wd = ndp.next_watchdog_deadline()
+                    if wd is not None and (nt is None or wd < nt):
+                        nt = wd
+                if mem_rec:
+                    wd = memsys.next_watchdog_deadline()
                     if wd is not None and (nt is None or wd < nt):
                         nt = wd
                 if nt is None:
@@ -292,6 +309,9 @@ class System:
             m.set_counters(self.fault_injector.metrics_counters())
             if self.ndp is not None and self.ndp.recovery is not None:
                 m.set_counters(self.ndp.rstats.metrics_counters())
+            if self.memsys.recovery is not None:
+                m.set_counters(self.memsys.rstats.metrics_counters())
+                m.set_counters(self.memsys.timeouts.metrics_counters())
         m.meta.setdefault("workload", res.workload)
         m.meta.setdefault("config", res.config_name)
         m.record("summary", cycle=self.engine.now, stalls=stalls,
@@ -368,7 +388,16 @@ class System:
         )
         if self.fault_injector is not None:
             res.extra["faults"] = self.fault_injector.snapshot()
-            if self.ndp is not None and self.ndp.recovery is not None:
+            if self.memsys.recovery is not None:
+                # Both layers merge into one dict (field names disjoint).
+                rec = dict(self.memsys.rstats.as_dict())
+                if self.ndp is not None and self.ndp.recovery is not None:
+                    rec.update(self.ndp.rstats.as_dict())
+                res.extra["recovery"] = rec
+                if self.memsys.recovery.adaptive:
+                    res.extra["recovery_timeouts"] = (
+                        self.memsys.timeouts.snapshot())
+            elif self.ndp is not None and self.ndp.recovery is not None:
                 res.extra["recovery"] = self.ndp.rstats.as_dict()
         if self.metrics is not None:
             self._publish_summary(res)

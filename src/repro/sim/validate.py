@@ -46,6 +46,24 @@ def audit_system(system, result: RunResult) -> list[str]:
     for sm_id, m in enumerate(system.memsys.l1_mshr):
         _check(len(m) == 0, f"L1 {sm_id} leaks MSHR entries", failures)
 
+    # -- baseline fill recovery ------------------------------------------------
+    ms = system.memsys
+    _check(not ms._fetches,
+           f"{len(ms._fetches)} baseline fills still tracked", failures)
+    if ms.recovery is not None:
+        b = ms.rstats
+        # Every issued fetch attempt resolves exactly one way: it fills
+        # the L2, its packet is reported lost, or it arrives late as a
+        # duplicate.  In-flight responses and loss notifications are
+        # engine events, so a drained engine implies no fourth state.
+        _check(b.fetch_attempts == b.fills + b.fills_lost + b.fills_dup,
+               f"fill conservation: attempts {b.fetch_attempts} != fills "
+               f"{b.fills} + lost {b.fills_lost} + dup {b.fills_dup}",
+               failures)
+        _check(b.fetch_attempts == ms.dram_read_requests,
+               f"fetch attempts {b.fetch_attempts} != DRAM read requests "
+               f"{ms.dram_read_requests}", failures)
+
     # -- NDP side -------------------------------------------------------------
     if system.ndp is not None:
         s = system.ndp.stats

@@ -110,8 +110,9 @@ class TestRunnerHelpers:
             EPOCH_BY_SCALE["paper"]
 
     def test_run_sweep_collects_all(self):
-        s = run_sweep("VADD", ["Baseline", "NDP(0.4)"], base=ci_config(),
-                      scale="ci")
+        with pytest.warns(DeprecationWarning, match="repro.api.sweep"):
+            s = run_sweep("VADD", ["Baseline", "NDP(0.4)"], base=ci_config(),
+                          scale="ci")
         assert set(s.results) == {"Baseline", "NDP(0.4)"}
         assert s.speedup("NDP(0.4)") > 0
 
