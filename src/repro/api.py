@@ -37,7 +37,7 @@ from repro.sim.system import SimulationTimeout
 from repro.sim.validate import audit_system
 
 __all__ = ["ChaosCell", "ChaosReport", "RunOutcome", "RunRequest",
-           "SweepOutcome", "base_config", "chaos", "fault_plan",
+           "SweepOutcome", "base_config", "chaos", "fault_plan", "lint",
            "make_runner", "resolve_store", "run", "sweep"]
 
 
@@ -219,16 +219,19 @@ def make_runner(*, base: SystemConfig | None = None, sms: int | None = None,
                 workloads=None, parallel: int = 1,
                 store: ResultStore | str | None = None,
                 use_store: bool = True, max_cycles: int = 20_000_000,
-                verbose: bool = False) -> ExperimentRunner:
+                verbose: bool = False,
+                audit: bool = False) -> ExperimentRunner:
     """The canonical :class:`ExperimentRunner` factory (figure/report
     grids, benchmarks, and the building block under :func:`sweep` and
-    :func:`chaos`)."""
+    :func:`chaos`).  ``audit=True`` runs the invariant audit on every
+    simulated cell (failures ride ``result.extra["audit"]`` and are never
+    persisted); store hits are served as-is."""
     return ExperimentRunner(
         base=base_config(base=base, sms=sms, nsu_mhz=nsu_mhz,
                          ro_cache=ro_cache, target_policy=target_policy),
         scale=scale, workloads=workloads, max_cycles=max_cycles,
         verbose=verbose, parallel=max(1, parallel or 1),
-        store=resolve_store(store, use_store=use_store))
+        store=resolve_store(store, use_store=use_store), audit=audit)
 
 
 @dataclass
@@ -240,24 +243,40 @@ class SweepOutcome:
     results: dict[str, RunResult]
     speedups: dict[str, float]     # vs Baseline; empty if not swept
     stats: RunnerStats
+    #: config -> audit failure messages, for cells simulated with
+    #: ``audit=True`` that broke an invariant (empty when clean/off).
+    audit_failures: dict[str, list[str]] = field(default_factory=dict)
+
+
+def _cell_audit_failures(result: RunResult) -> list[str]:
+    return list(result.extra.get("audit", {}).get("failures", []))
 
 
 def sweep(workload: str, configs=None, *, runner: ExperimentRunner = None,
-          **runner_kwargs) -> SweepOutcome:
+          audit: bool | None = None, **runner_kwargs) -> SweepOutcome:
     """Sweep ``workload`` across ``configs`` (default: the Figure 9
     columns plus NaiveNDP).  Pass a prebuilt ``runner`` to share caches,
-    or :func:`make_runner` keyword arguments to build one."""
+    or :func:`make_runner` keyword arguments to build one.  ``audit=True``
+    audits every simulated cell, like :func:`run` does for single runs;
+    failures land in :attr:`SweepOutcome.audit_failures`."""
     configs = (tuple(configs) if configs is not None
                else tuple(FIG9_CONFIGS) + ("NaiveNDP",))
     if runner is None:
         runner_kwargs.setdefault("workloads", [workload])
+        if audit is not None:
+            runner_kwargs.setdefault("audit", audit)
         runner = make_runner(**runner_kwargs)
+    elif audit is not None:
+        runner.audit = audit
     runner.prefetch(configs, workloads=[workload])
     results = {c: runner.result(workload, c) for c in configs}
     speedups = ({c: runner.speedup(workload, c) for c in configs}
                 if "Baseline" in configs else {})
+    failures = {c: f for c in configs
+                if (f := _cell_audit_failures(results[c]))}
     return SweepOutcome(workload=workload, configs=configs, results=results,
-                        speedups=speedups, stats=runner.stats)
+                        speedups=speedups, stats=runner.stats,
+                        audit_failures=failures)
 
 
 # -- chaos grids -------------------------------------------------------------
@@ -290,28 +309,38 @@ class ChaosReport:
     cells: dict[tuple[str, str, float], ChaosCell]
     stats: RunnerStats
     store_root: str | None
+    #: "workload/config" -> audit failures of the fault-free reference
+    #: cells, populated when the grid runs with ``audit=True``.
+    ref_audit_failures: dict[str, list[str]] = field(default_factory=dict)
 
     def outcome_counts(self) -> dict[str, int]:
         counts: dict[str, int] = {}
-        for cell in self.cells.values():
-            counts[cell.outcome] = counts.get(cell.outcome, 0) + 1
+        # Sorted so the counts dict itself has a deterministic key order.
+        for key in sorted(self.cells):
+            outcome = self.cells[key].outcome
+            counts[outcome] = counts.get(outcome, 0) + 1
         return counts
 
     @property
     def fatal_cells(self) -> list[tuple[str, str, float]]:
-        return [k for k, c in self.cells.items() if c.outcome == "fatal"]
+        return sorted(k for k, c in self.cells.items()
+                      if c.outcome == "fatal")
 
 
 def chaos(*, scenario: str = "rdf-drop", rates=(0.0, 0.01, 0.05),
           configs=("NDP(Dyn)", "NDP(Dyn)_Cache"), workloads=("VADD",),
           fault_seed: int = 0, recovery: RecoveryPolicy | None = None,
-          runner: ExperimentRunner = None, **runner_kwargs) -> ChaosReport:
+          runner: ExperimentRunner = None, audit: bool | None = None,
+          **runner_kwargs) -> ChaosReport:
     """Sweep ``scenario`` over rate x config x workload.
 
     Reference (fault-free) cells ride the runner's normal caches; chaos
     cells are cached under plan-fingerprint-salted keys.  With
-    ``parallel > 1`` both fan out over the hardened worker pool.  Raises
-    :class:`KeyError` for an unknown scenario name.
+    ``parallel > 1`` both fan out over the hardened worker pool.  Chaos
+    cells are always audited; ``audit=True`` extends the same audit to
+    the fault-free reference cells (failures land in
+    :attr:`ChaosReport.ref_audit_failures`).  Raises :class:`KeyError`
+    for an unknown scenario name.
     """
     if scenario not in scenario_names():
         raise KeyError(f"unknown fault scenario {scenario!r}; choose from "
@@ -321,17 +350,28 @@ def chaos(*, scenario: str = "rdf-drop", rates=(0.0, 0.01, 0.05),
     rates = tuple(float(r) for r in rates)
     if runner is None:
         runner_kwargs.setdefault("workloads", list(workloads))
+        if audit is not None:
+            runner_kwargs.setdefault("audit", audit)
         runner = make_runner(**runner_kwargs)
+    elif audit is not None:
+        runner.audit = audit
     plans = {rate: get_scenario(scenario, rate=rate, seed=fault_seed,
                                 recovery=recovery) for rate in rates}
     # Fault-free references first (plain store keys), then the grid.
     runner.prefetch(configs, workloads=workloads)
-    ref = {(w, c): runner.result(w, c).cycles
-           for w in workloads for c in configs}
+    ref_results = {(w, c): runner.result(w, c)
+                   for w in workloads for c in configs}
+    ref = {k: r.cycles for k, r in sorted(ref_results.items())}
+    ref_failures = {f"{w}/{c}": f
+                    for (w, c), r in sorted(ref_results.items())
+                    if (f := _cell_audit_failures(r))}
     grid = runner.chaos_grid(plans, configs, workloads)
     cells = {}
-    for (w, c, rate), (outcome, res) in grid.items():
-        cells[(w, c, rate)] = ChaosCell(
+    # Sorted for a deterministic cell order regardless of grid scheduling.
+    for key in sorted(grid):
+        w, c, rate = key
+        outcome, res = grid[key]
+        cells[key] = ChaosCell(
             outcome=outcome,
             cycles=res.cycles if res is not None else None,
             slowdown=(res.cycles / ref[(w, c)] if res is not None else None))
@@ -339,4 +379,19 @@ def chaos(*, scenario: str = "rdf-drop", rates=(0.0, 0.01, 0.05),
         scenario=scenario, fault_seed=fault_seed, scale=str(runner.scale),
         workloads=workloads, configs=configs, rates=rates, ref_cycles=ref,
         cells=cells, stats=runner.stats,
-        store_root=str(runner.store.root) if runner.store else None)
+        store_root=str(runner.store.root) if runner.store else None,
+        ref_audit_failures=ref_failures)
+
+
+# -- static analysis ----------------------------------------------------------
+
+def lint(paths=("src/repro",), *, baseline=None, use_baseline: bool = True,
+         update_baseline: bool = False, rules=None):
+    """Run the :mod:`repro.lint` static analyzer over ``paths`` and return
+    a :class:`~repro.lint.runner.LintReport` (``report.exit_code`` is 0
+    only when no non-baselined finding remains).  See
+    ``docs/static-analysis.md`` for the rule catalogue, the suppression
+    syntax and the baseline workflow."""
+    from repro.lint import run_lint
+    return run_lint(paths, baseline=baseline, use_baseline=use_baseline,
+                    update_baseline=update_baseline, rules=rules)

@@ -12,6 +12,7 @@ Commands
 * ``store ls|clear``                    -- inspect the persistent store
 * ``overhead``                          -- §7.5 hardware overhead
 * ``chaos``                             -- fault-rate degradation sweep
+* ``lint [PATHS...]``                   -- static determinism/protocol analyzer
 
 Common flags: ``--scale ci|bench|paper``, ``--workloads A,B,...``,
 ``--store DIR`` / ``--no-store`` (persistent result cache, default from
@@ -121,12 +122,18 @@ def cmd_run(args) -> int:
             store=args.store,
             # --stats needs a live system; force a fresh simulation.
             use_store=not (args.no_store or args.stats),
-            metrics=registry, trace=args.trace, **_config_kwargs(args))
+            metrics=registry, trace=args.trace, audit=args.audit,
+            **_config_kwargs(args))
         out = api.run(req)
     except KeyError as e:
         print(str(e.args[0]) if e.args else str(e), file=sys.stderr)
         return 2
     plan = req.resolved_plan()
+    if out.outcome == "audit-fail":
+        print("AUDIT FAILED:", file=sys.stderr)
+        for msg in out.audit_failures:
+            print(f"  {msg}", file=sys.stderr)
+        return 1
     if out.outcome == "fatal":
         print(f"FATAL: {out.error}", file=sys.stderr)
         if plan is not None:
@@ -181,12 +188,17 @@ def cmd_run(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    runner = _runner(args)
+    runner = _runner(args, audit=args.audit)
     out = api.sweep(args.workload, runner=runner)
     print(bar_chart(out.speedups,
                     title=f"{args.workload}: speedup over Baseline",
                     baseline=1.0))
     _print_store_stats(runner)
+    if out.audit_failures:
+        for config, msgs in sorted(out.audit_failures.items()):
+            print(f"AUDIT FAILED for {config}: {'; '.join(msgs)}",
+                  file=sys.stderr)
+        return 1
     return 0
 
 
@@ -295,7 +307,8 @@ def cmd_chaos(args) -> int:
     # pool unless --parallel pins a width explicitly.
     parallel = args.parallel or min(8, max(1, (os.cpu_count() or 2) - 1))
     runner = _runner(args, verbose=False, parallel=parallel,
-                     max_cycles=args.max_cycles, workloads=workloads)
+                     max_cycles=args.max_cycles, workloads=workloads,
+                     audit=args.audit)
     try:
         report = api.chaos(scenario=args.scenario, rates=rates,
                            configs=configs, workloads=workloads,
@@ -317,7 +330,32 @@ def cmd_chaos(args) -> int:
     s = report.stats
     print(f"\n[chaos] simulations: {s.sim_runs}, store hits: {s.store_hits}"
           + (f" ({report.store_root})" if report.store_root else ""))
+    if report.ref_audit_failures:
+        for cell, msgs in sorted(report.ref_audit_failures.items()):
+            print(f"AUDIT FAILED for reference {cell}: {'; '.join(msgs)}",
+                  file=sys.stderr)
+        return 1
     return 0
+
+
+def cmd_lint(args) -> int:
+    """Run the repro.lint static analyzer (docs/static-analysis.md)."""
+    from repro.lint import render_json, render_pretty
+
+    rules = ([r.strip() for r in args.rules.split(",") if r.strip()]
+             if args.rules else None)
+    report = api.lint(args.paths or ("src/repro",),
+                      baseline=args.baseline,
+                      use_baseline=not args.no_baseline,
+                      update_baseline=args.update_baseline, rules=rules)
+    if args.format == "json":
+        print(render_json(report.findings, report.files))
+    else:
+        print(render_pretty(report.findings, report.files))
+        if report.updated_baseline:
+            print(f"baseline: wrote {report.baseline_entries} entries to "
+                  f"{report.baseline_path}")
+    return report.exit_code
 
 
 def cmd_report(args) -> int:
@@ -393,11 +431,16 @@ def build_parser() -> argparse.ArgumentParser:
                     help="per-event fault probability (default 0.01)")
     pr.add_argument("--fault-seed", type=int, default=0,
                     help="fault plan seed (deterministic per seed)")
+    pr.add_argument("--audit", action="store_true",
+                    help="run invariant audits after the simulation and "
+                         "fail on any violation")
     _add_recovery_flags(pr)
     pr.set_defaults(fn=cmd_run)
 
     ps = sub.add_parser("sweep")
     ps.add_argument("workload")
+    ps.add_argument("--audit", action="store_true",
+                    help="audit every swept cell; fail on any violation")
     ps.set_defaults(fn=cmd_sweep)
 
     pt = sub.add_parser("table")
@@ -424,8 +467,27 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--fault-seed", type=int, default=0,
                     help="fault plan seed (deterministic per seed)")
     pc.add_argument("--max-cycles", type=int, default=20_000_000)
+    pc.add_argument("--audit", action="store_true",
+                    help="audit the unarmed reference cells; fail on any "
+                         "violation")
     _add_recovery_flags(pc)
     pc.set_defaults(fn=cmd_chaos)
+
+    pl = sub.add_parser("lint")
+    pl.add_argument("paths", nargs="*",
+                    help="files or directories (default: src/repro)")
+    pl.add_argument("--format", choices=["pretty", "json"],
+                    default="pretty")
+    pl.add_argument("--baseline", metavar="FILE",
+                    help="baseline file (default: "
+                         "<repo-root>/.repro-lint-baseline.json)")
+    pl.add_argument("--no-baseline", action="store_true",
+                    help="report every finding, baselined or not")
+    pl.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline from the current findings")
+    pl.add_argument("--rules", metavar="IDS",
+                    help="comma-separated rule ids to run (default: all)")
+    pl.set_defaults(fn=cmd_lint)
 
     pre = sub.add_parser("report")
     pre.add_argument("-o", "--output", help="write markdown to a file")

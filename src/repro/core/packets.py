@@ -99,3 +99,26 @@ class PacketSizes:
     def mem_write(words: int) -> int:
         """Write-through store: header + address + written words."""
         return PKT_HEADER + ADDR_SIZE + words * WORD_SIZE
+
+
+#: Which fault-injection site each packet kind traverses (the
+#: ``repro.faults.plan.PACKET_SITES`` vocabulary).  GPU-sourced packets
+#: ride the downstream GPU links, HMC-sourced replies ride upstream, and
+#: inter-HMC forwarding rides the memory network.  ``repro lint``
+#: (PROTO001) checks that every :class:`PacketSizes` method has an entry
+#: here, that every entry names a real method, and that every site is a
+#: declared packet site -- so a new packet kind cannot ship without
+#: deciding where faults can kill it.
+PACKET_FAULT_SITES = {
+    "offload_cmd": "gpu_link_down",
+    "rdf_request": "gpu_link_down",
+    "wta": "gpu_link_down",
+    "mem_read_request": "gpu_link_down",
+    "mem_write": "gpu_link_down",
+    "rdf_response": "mem_net",
+    "ndp_write": "mem_net",
+    "write_ack": "mem_net",
+    "offload_ack": "gpu_link_up",
+    "invalidation": "gpu_link_up",
+    "mem_read_response": "gpu_link_up",
+}

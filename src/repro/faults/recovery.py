@@ -39,6 +39,8 @@ class RecoveryStats:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
     def metrics_counters(self) -> dict[str, int]:
+        # lint: ignore[DET002] -- dataclass field order is fixed at class
+        # definition; the dict feeds a name-keyed registry anyway
         return {f"recovery.{k}": v for k, v in self.as_dict().items()}
 
 
@@ -64,6 +66,8 @@ class BaselineRecoveryStats:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
     def metrics_counters(self) -> dict[str, int]:
+        # lint: ignore[DET002] -- dataclass field order is fixed at class
+        # definition; the dict feeds a name-keyed registry anyway
         return {f"recovery.{k}": v for k, v in self.as_dict().items()}
 
 
@@ -120,7 +124,7 @@ class TimeoutTracker:
 
     def metrics_counters(self) -> dict[str, int]:
         out: dict[str, int] = {}
-        for site, entry in self.snapshot().items():
+        for site, entry in sorted(self.snapshot().items()):
             out[f"recovery.timeout.{site}"] = entry["timeout"]
             if "ewma" in entry:
                 out[f"recovery.ewma.{site}"] = entry["ewma"]

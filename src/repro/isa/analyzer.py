@@ -80,7 +80,7 @@ def live_in_regs(instrs: tuple[Instr, ...],
             defined.add(ins.dst)
             continue
         reads = ins.srcs  # excludes addr_src for ST by construction
-        for r in reads:
+        for r in sorted(reads):
             if r not in defined:
                 live.add(r)
         if ins.dst is not None:

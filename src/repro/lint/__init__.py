@@ -1,0 +1,36 @@
+"""``repro.lint``: AST-based determinism & protocol-consistency analyzer.
+
+Rules (see ``docs/static-analysis.md``):
+
+========  ========  ==============================================
+DET001    error     iteration over a set (hash order)
+DET002    warning   iteration over dict views (insertion order)
+DET003    error     unseeded / global RNG use
+DET004    error     hash()/id() values leaking across processes
+DET005    warning   wall-clock reads on the simulated path
+PROTO001  error     packet kinds vs PACKET_FAULT_SITES coverage
+PROTO002  error     emitted metric names vs KNOWN_METRICS
+PROTO003  error     fault-site literals vs faults/plan.py
+FAC001    error     cli.py flags vs the repro.api facade
+LINT001   error     suppression without a reason
+LINT002   warning   stale suppression
+LINT003   error     file does not parse
+========  ========  ==============================================
+
+Suppress one finding with a trailing (or preceding standalone) comment::
+
+    # lint: ignore[DET004] -- identity map keyed per-process only
+"""
+
+from repro.lint.baseline import (DEFAULT_BASELINE, apply_baseline,
+                                 load_baseline, write_baseline)
+from repro.lint.core import Finding, FileContext, Rule, severity_rank
+from repro.lint.project import Project, discover_project
+from repro.lint.report import render_json, render_pretty, summary_line
+from repro.lint.runner import ALL_RULES, LintReport, run_lint
+
+__all__ = ["ALL_RULES", "DEFAULT_BASELINE", "Finding", "FileContext",
+           "LintReport", "Project", "Rule", "apply_baseline",
+           "discover_project", "load_baseline", "render_json",
+           "render_pretty", "run_lint", "severity_rank", "summary_line",
+           "write_baseline"]

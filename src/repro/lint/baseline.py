@@ -1,0 +1,54 @@
+"""Baseline file: grandfathered findings that do not fail the build.
+
+The baseline is a JSON file mapping finding keys (``path:rule:hash`` --
+line-number independent, see :meth:`repro.lint.core.Finding.key`) to a
+human-readable record.  ``repro lint --update-baseline`` rewrites it from
+the current findings; a normal run marks matching findings as baselined
+and fails only on the rest.  Entries whose finding disappeared are
+dropped on the next update, so the file only ever shrinks under cleanup.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint.core import Finding, mark_baselined
+
+__all__ = ["DEFAULT_BASELINE", "apply_baseline", "load_baseline",
+           "write_baseline"]
+
+#: Default baseline location, resolved against the repository root (the
+#: directory holding the linted package's ``src``) by the runner.
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
+
+
+def load_baseline(path: Path | str | None) -> dict[str, dict]:
+    if path is None:
+        return {}
+    p = Path(path)
+    if not p.is_file():
+        return {}
+    data = json.loads(p.read_text())
+    entries = data.get("findings", data) if isinstance(data, dict) else {}
+    return dict(entries)
+
+
+def apply_baseline(findings: list[Finding],
+                   baseline: dict[str, dict]) -> list[Finding]:
+    """Mark findings present in the baseline; returns a new list."""
+    return [mark_baselined(f) if f.key() in baseline else f
+            for f in findings]
+
+
+def write_baseline(findings: list[Finding], path: Path | str) -> int:
+    """Rewrite the baseline from the current findings (baselined or not);
+    returns the entry count."""
+    entries = {}
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+        entries[f.key()] = {"rule": f.rule, "severity": f.severity,
+                            "path": f.path, "message": f.message,
+                            "snippet": f.snippet}
+    blob = {"version": 1, "findings": entries}
+    Path(path).write_text(json.dumps(blob, indent=2, sort_keys=True) + "\n")
+    return len(entries)

@@ -1,0 +1,232 @@
+"""Rule framework for ``repro.lint``: findings, suppressions, file context.
+
+The analyzer is purely static: every checked file is parsed with
+:mod:`ast`, never imported, so linting cannot execute simulator code and
+works on broken trees.  Two rule shapes exist:
+
+* **file rules** visit one module's AST at a time
+  (:meth:`Rule.check_file`), optionally consulting the cross-file
+  :class:`~repro.lint.project.Project` registries;
+* **project rules** run once per lint invocation over the project model
+  itself (:meth:`Rule.check_project`) -- packet/fault-site coverage,
+  CLI/facade drift.
+
+Suppressions are in-source comments::
+
+    x = hash(name)  # lint: ignore[DET004] -- stable across runs by construction
+
+or, as a standalone comment block, applying to the statement that follows
+it.  The reason after
+``--`` is mandatory: a suppression without one is itself a finding
+(``LINT001``), and a suppression that never matches a finding is reported
+as stale (``LINT002``).
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field, replace
+
+__all__ = ["Finding", "FileContext", "Rule", "SEVERITIES", "attach_parents",
+           "severity_rank"]
+
+#: Severities in decreasing order of importance.
+SEVERITIES = ("error", "warning", "info")
+
+
+def severity_rank(severity: str) -> int:
+    return SEVERITIES.index(severity) if severity in SEVERITIES else len(SEVERITIES)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One reported violation, anchored at ``path:line:col``."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""        # stripped source line, feeds the baseline key
+    baselined: bool = False
+
+    def key(self) -> str:
+        """Baseline identity: path + rule + a hash of the line *content*,
+        so entries survive unrelated edits that shift line numbers."""
+        digest = hashlib.sha256(self.snippet.encode()).hexdigest()[:12]
+        return f"{self.path}:{self.rule}:{digest}"
+
+    def format(self) -> str:
+        tag = " (baselined)" if self.baselined else ""
+        return (f"{self.path}:{self.line}:{self.col}: {self.rule} "
+                f"[{self.severity}] {self.message}{tag}")
+
+    def as_dict(self) -> dict:
+        return {"rule": self.rule, "severity": self.severity,
+                "path": self.path, "line": self.line, "col": self.col,
+                "message": self.message, "key": self.key(),
+                "baselined": self.baselined}
+
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*ignore\[([A-Za-z0-9_,\s]+)\]\s*(?:--\s*(\S.*))?")
+
+
+@dataclass
+class Suppression:
+    """One ``# lint: ignore[...]`` comment."""
+
+    line: int                # line the comment sits on (1-based)
+    rules: tuple[str, ...]
+    reason: str | None
+    standalone: bool         # comment-only line: applies to the next
+    #                          statement line (skipping the rest of the
+    #                          comment block)
+    target: int = 0          # the line the suppression applies to
+    used: bool = field(default=False, compare=False)
+
+    def covers(self, rule: str, line: int) -> bool:
+        return line == self.target and rule in self.rules
+
+
+def parse_suppressions(source: str) -> list[Suppression]:
+    # Tokenize so the marker only counts inside real comments -- the same
+    # text in a docstring (e.g. documentation of this very syntax) is not
+    # a suppression.
+    out = []
+    lines = source.splitlines()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):
+        return out
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        m = _SUPPRESS_RE.search(tok.string)
+        if m is None:
+            continue
+        rules = tuple(r.strip() for r in m.group(1).split(",") if r.strip())
+        standalone = tok.line[:tok.start[1]].strip() == ""
+        line = tok.start[0]
+        target = line
+        if standalone:
+            # Applies to the first code line after the comment block.
+            target = line + 1
+            while (target <= len(lines)
+                   and lines[target - 1].lstrip().startswith("#")):
+                target += 1
+        out.append(Suppression(line=line, rules=rules, reason=m.group(2),
+                               standalone=standalone, target=target))
+    return out
+
+
+def attach_parents(tree: ast.AST) -> None:
+    """Stamp a ``.lint_parent`` backlink on every node (used by rules to
+    ask "is this expression directly consumed by sorted()/sum()?")."""
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            child.lint_parent = parent  # type: ignore[attr-defined]
+
+
+class FileContext:
+    """One parsed module plus its suppression table and finding sink."""
+
+    def __init__(self, path: str, source: str, module: str,
+                 real_path: str | None = None) -> None:
+        self.path = path                      # display/baseline path
+        self.real_path = real_path or path    # for contract-file matching
+        self.source = source
+        self.module = module
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+        attach_parents(self.tree)
+        self.suppressions = parse_suppressions(source)
+        self.findings: list[Finding] = []
+
+    def snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def report(self, rule: str, severity: str, node: ast.AST | int,
+               message: str) -> None:
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        col = 0 if isinstance(node, int) else getattr(node, "col_offset", 0)
+        for sup in self.suppressions:
+            if sup.covers(rule, line):
+                sup.used = True
+                return
+        self.findings.append(Finding(
+            rule=rule, severity=severity, path=self.path, line=line,
+            col=col, message=message, snippet=self.snippet(line)))
+
+    def finish(self, checked_rules: set[str] | None = None) -> None:
+        """Emit the meta findings: malformed and stale suppressions.
+
+        ``checked_rules`` names the rule ids that actually ran; a
+        suppression whose rules were all filtered out (``--rules``) is
+        not stale -- nothing could have matched it.
+        """
+        for sup in self.suppressions:
+            ran = (checked_rules is None
+                   or any(r in checked_rules for r in sup.rules))
+            if sup.reason is None:
+                self.findings.append(Finding(
+                    rule="LINT001", severity="error", path=self.path,
+                    line=sup.line, col=0,
+                    message="suppression without a reason: write "
+                            "'# lint: ignore[RULE] -- why order/state "
+                            "cannot leak'",
+                    snippet=self.snippet(sup.line)))
+            elif not sup.used and ran:
+                self.findings.append(Finding(
+                    rule="LINT002", severity="warning", path=self.path,
+                    line=sup.line, col=0,
+                    message=f"stale suppression for "
+                            f"{', '.join(sup.rules)}: no finding matched",
+                    snippet=self.snippet(sup.line)))
+
+
+class Rule:
+    """Base class.  Subclasses set ``id``, ``severity``, ``description``
+    and override :meth:`check_file` and/or :meth:`check_project`.
+
+    ``scope``/``exclude`` are dotted-module prefixes limiting where the
+    rule applies (``None`` scope = everywhere).  ``repro.lint`` itself is
+    excluded by default: the analyzer is host-side tooling, not sim-path
+    code.
+    """
+
+    id: str = ""
+    severity: str = "error"
+    description: str = ""
+    scope: tuple[str, ...] | None = None
+    exclude: tuple[str, ...] = ("repro.lint",)
+
+    def applies_to(self, module: str) -> bool:
+        def match(prefix: str) -> bool:
+            return module == prefix or module.startswith(prefix + ".")
+        if any(match(p) for p in self.exclude):
+            return False
+        if self.scope is None:
+            return True
+        return any(match(p) for p in self.scope)
+
+    def check_file(self, ctx: FileContext, project) -> None:
+        """Visit one module (default: nothing)."""
+
+    def check_project(self, project, contexts: list[FileContext]) -> None:
+        """Run once over the cross-file model (default: nothing)."""
+
+
+def unbaselined(findings: list[Finding]) -> list[Finding]:
+    return [f for f in findings if not f.baselined]
+
+
+def mark_baselined(finding: Finding) -> Finding:
+    return replace(finding, baselined=True)

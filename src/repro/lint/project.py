@@ -1,0 +1,267 @@
+"""Cross-file project model: the registries the protocol and facade rules
+check call sites against.
+
+Everything is recovered from the AST of five contract-bearing modules --
+``core/packets.py``, ``faults/plan.py``, ``sim/metrics.py``, ``cli.py``
+and ``api.py`` -- never by importing them, so the linter stays static and
+works on a broken tree.  Tests build synthetic projects from in-memory
+sources via :meth:`Project.from_sources`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["Project", "discover_project"]
+
+#: Role -> path of each contract-bearing module, relative to the package.
+CONTRACT_FILES = {
+    "packets": "core/packets.py",
+    "plan": "faults/plan.py",
+    "metrics": "sim/metrics.py",
+    "cli": "cli.py",
+    "api": "api.py",
+}
+
+
+@dataclass
+class Project:
+    """Parsed contracts of one ``repro`` package tree."""
+
+    root: str = ""                      # package directory, for diagnostics
+    #: PacketSizes wire-size methods: name -> definition line.
+    packet_kinds: dict[str, int] = field(default_factory=dict)
+    #: PacketSizes class constants (MASK, PC): legal non-kind attributes.
+    packet_consts: frozenset[str] = frozenset()
+    #: PACKET_FAULT_SITES entries: kind -> (site-or-None, line).
+    packet_fault_sites: dict[str, tuple[str | None, int]] = field(
+        default_factory=dict)
+    packets_path: str = ""
+    #: Injectable fault sites (faults/plan.py SITES) and the subset
+    #: packets flow through (PACKET_SITES).
+    sites: tuple[str, ...] = ()
+    packet_sites: tuple[str, ...] = ()
+    watchdog_sites: tuple[str, ...] = ()
+    #: KNOWN_METRICS entries: exact dotted names, or "prefix.*" patterns.
+    known_metrics: frozenset[str] = frozenset()
+    #: RunRequest dataclass field names.
+    run_request_fields: tuple[str, ...] = ()
+    #: Parameter names across the facade entry points.
+    facade_params: frozenset[str] = frozenset()
+    #: CLI argparse destinations: dest -> (flag string, line).
+    cli_dests: dict[str, tuple[str, int]] = field(default_factory=dict)
+    cli_path: str = ""
+    api_path: str = ""
+
+    # -- metric-name matching -------------------------------------------------
+
+    def metric_known(self, name: str) -> bool:
+        """Exact names match exactly; patterns match by prefix."""
+        if name in self.known_metrics:
+            return True
+        return any(p.endswith(".*") and name.startswith(p[:-1])
+                   for p in sorted(self.known_metrics))
+
+    def metric_prefix_known(self, prefix: str) -> bool:
+        """Can an f-string starting with ``prefix`` name a known metric?"""
+        for entry in sorted(self.known_metrics):
+            if entry.endswith(".*"):
+                stem = entry[:-1]
+                if prefix.startswith(stem) or stem.startswith(prefix):
+                    return True
+            elif entry.startswith(prefix):
+                return True
+        return False
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_sources(cls, sources: dict[str, str],
+                     paths: dict[str, str] | None = None,
+                     root: str = "") -> "Project":
+        """Build from role -> source text (roles: packets, plan, metrics,
+        cli, api; all optional).  ``paths`` supplies the reported path per
+        role for finding anchors."""
+        paths = paths or {}
+        proj = cls(root=root)
+        if "packets" in sources:
+            proj.packets_path = paths.get("packets", "core/packets.py")
+            _parse_packets(ast.parse(sources["packets"]), proj)
+        if "plan" in sources:
+            _parse_plan(ast.parse(sources["plan"]), proj)
+        if "metrics" in sources:
+            _parse_metrics(ast.parse(sources["metrics"]), proj)
+        if "api" in sources:
+            proj.api_path = paths.get("api", "api.py")
+            _parse_api(ast.parse(sources["api"]), proj)
+        if "cli" in sources:
+            proj.cli_path = paths.get("cli", "cli.py")
+            _parse_cli(ast.parse(sources["cli"]), proj)
+        return proj
+
+    @classmethod
+    def from_package(cls, package_root: Path) -> "Project":
+        """Parse the contract files under a ``repro`` package directory."""
+        sources, paths = {}, {}
+        for role, rel in sorted(CONTRACT_FILES.items()):
+            p = package_root / rel
+            if p.is_file():
+                sources[role] = p.read_text()
+                paths[role] = str(p)
+        return cls.from_sources(sources, paths, root=str(package_root))
+
+
+def discover_project(files: list[Path]) -> Project | None:
+    """Locate the ``repro`` package enclosing (or contained in) the linted
+    files and parse its contracts; None when no package is found."""
+    candidates: list[Path] = []
+    for f in files:
+        if f.as_posix().endswith("repro/core/packets.py"):
+            candidates.append(f.parent.parent)
+    if not candidates:
+        seen = set()
+        for f in files:
+            d = f.parent
+            while (d / "__init__.py").is_file():
+                if d.name == "repro" and d not in seen:
+                    seen.add(d)
+                    candidates.append(d)
+                d = d.parent
+    for root in candidates:
+        if (root / CONTRACT_FILES["packets"]).is_file():
+            return Project.from_package(root)
+    return None
+
+
+# -- per-module parsers -------------------------------------------------------
+
+def _const_str(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _parse_packets(tree: ast.Module, proj: Project) -> None:
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == "PacketSizes":
+            consts = set()
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef):
+                    proj.packet_kinds[item.name] = item.lineno
+                elif isinstance(item, ast.Assign):
+                    consts.update(t.id for t in item.targets
+                                  if isinstance(t, ast.Name))
+                elif (isinstance(item, ast.AnnAssign)
+                      and isinstance(item.target, ast.Name)):
+                    consts.add(item.target.id)
+            proj.packet_consts = frozenset(consts)
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            if "PACKET_FAULT_SITES" in names and isinstance(
+                    node.value, ast.Dict):
+                for k, v in zip(node.value.keys, node.value.values):
+                    kind = _const_str(k)
+                    if kind is None:
+                        continue
+                    site = _const_str(v)  # None for Constant(None) too
+                    proj.packet_fault_sites[kind] = (site, k.lineno)
+
+
+def _tuple_of_strs(node: ast.AST, env: dict[str, tuple[str, ...]]
+                   ) -> tuple[str, ...] | None:
+    """Fold a literal tuple of strings, following Name references and
+    ``+`` concatenation (SITES = PACKET_SITES + (...))."""
+    if isinstance(node, ast.Tuple):
+        out = []
+        for elt in node.elts:
+            s = _const_str(elt)
+            if s is None:
+                return None
+            out.append(s)
+        return tuple(out)
+    if isinstance(node, ast.Name):
+        return env.get(node.id)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        left = _tuple_of_strs(node.left, env)
+        right = _tuple_of_strs(node.right, env)
+        if left is not None and right is not None:
+            return left + right
+    return None
+
+
+def _parse_plan(tree: ast.Module, proj: Project) -> None:
+    env: dict[str, tuple[str, ...]] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for t in node.targets:
+                if isinstance(t, ast.Name):
+                    folded = _tuple_of_strs(node.value, env)
+                    if folded is not None:
+                        env[t.id] = folded
+    proj.packet_sites = env.get("PACKET_SITES", ())
+    proj.sites = env.get("SITES", ())
+    proj.watchdog_sites = env.get("WATCHDOG_SITES", ())
+
+
+def _parse_metrics(tree: ast.Module, proj: Project) -> None:
+    for node in tree.body:
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            if not any(isinstance(t, ast.Name) and t.id == "KNOWN_METRICS"
+                       for t in targets):
+                continue
+            value = node.value
+            if (isinstance(value, ast.Call) and value.args
+                    and isinstance(value.args[0], (ast.Set, ast.Tuple,
+                                                   ast.List))):
+                value = value.args[0]
+            if isinstance(value, (ast.Set, ast.Tuple, ast.List)):
+                names = [_const_str(e) for e in value.elts]
+                proj.known_metrics = frozenset(
+                    n for n in names if n is not None)
+
+
+def _parse_api(tree: ast.Module, proj: Project) -> None:
+    params: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == "RunRequest":
+            fields = [item.target.id for item in node.body
+                      if isinstance(item, ast.AnnAssign)
+                      and isinstance(item.target, ast.Name)]
+            proj.run_request_fields = tuple(fields)
+            params.update(fields)
+        if isinstance(node, ast.FunctionDef) and not node.name.startswith("_"):
+            a = node.args
+            for arg in (list(a.posonlyargs) + list(a.args)
+                        + list(a.kwonlyargs)):
+                params.add(arg.arg)
+    proj.facade_params = frozenset(params)
+
+
+def _parse_cli(tree: ast.Module, proj: Project) -> None:
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add_argument" and node.args):
+            continue
+        flag = _const_str(node.args[0])
+        if flag is None:
+            continue
+        dest = flag
+        for kw in node.keywords:
+            if kw.arg == "dest":
+                explicit = _const_str(kw.value)
+                if explicit:
+                    dest = explicit
+        if dest.startswith("-"):
+            # prefer the long option for the dest, argparse-style
+            longs = [_const_str(a) for a in node.args
+                     if (_const_str(a) or "").startswith("--")]
+            dest = (longs[0] if longs and longs[0] else flag)
+        dest = dest.lstrip("-").replace("-", "_")
+        proj.cli_dests.setdefault(dest, (flag, node.lineno))

@@ -1,0 +1,260 @@
+"""Protocol rules: packet/fault-site coverage, metric-name hygiene, and
+fault-site literals.
+
+These rules check call sites against the cross-file contracts parsed by
+:mod:`repro.lint.project`: the ``PacketSizes``/``PACKET_FAULT_SITES``
+registry in ``core/packets.py``, the ``SITES``/``WATCHDOG_SITES`` tuples
+in ``faults/plan.py`` and the ``KNOWN_METRICS`` registry in
+``sim/metrics.py``.  A rule silently stands down when its contract source
+was not found (synthetic test projects may carry only one of them).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.core import FileContext, Rule
+from repro.lint.project import Project
+
+__all__ = ["PROTOCOL_RULES", "PacketCoverageRule", "MetricNameRule",
+           "FaultSiteRule"]
+
+
+def _receiver_name(func: ast.Attribute) -> str:
+    """Last identifier of the receiver chain: 'self.faults.packet' -> 'faults'."""
+    v = func.value
+    if isinstance(v, ast.Attribute):
+        return v.attr
+    if isinstance(v, ast.Name):
+        return v.id
+    return ""
+
+
+def _str_arg(call: ast.Call, index: int = 0,
+             keyword: str | None = None) -> ast.Constant | None:
+    """The call's argument at ``index`` (or ``keyword``) iff a string literal."""
+    node = None
+    if len(call.args) > index:
+        node = call.args[index]
+    elif keyword is not None:
+        for kw in call.keywords:
+            if kw.arg == keyword:
+                node = kw.value
+    if (isinstance(node, ast.Constant) and isinstance(node.value, str)):
+        return node
+    return None
+
+
+def _fstring_prefix(node: ast.AST) -> str | None:
+    """Leading literal of an f-string ('f"packets.{k}"' -> 'packets.')."""
+    if (isinstance(node, ast.JoinedStr) and node.values
+            and isinstance(node.values[0], ast.Constant)
+            and isinstance(node.values[0].value, str)):
+        return node.values[0].value
+    return None
+
+
+class PacketCoverageRule(Rule):
+    """PROTO001: every ``PacketSizes`` wire-size method must carry a fault-
+    site mapping in ``PACKET_FAULT_SITES``, every mapping must name a real
+    method and a real packet fault site, and only declared kinds/constants
+    may be referenced as ``PacketSizes.<x>``."""
+
+    id = "PROTO001"
+    severity = "error"
+    description = ("packet kinds, PACKET_FAULT_SITES and PacketSizes uses "
+                   "must agree")
+
+    #: The module that emits the NDP packet kinds; the never-emitted check
+    #: only makes sense when it is part of the scanned set.
+    EMITTER = "repro.core.offload"
+
+    def check_project(self, project: Project,
+                      contexts: list[FileContext]) -> None:
+        if not project.packet_kinds:
+            return
+        anchor = next((c for c in contexts
+                       if c.real_path == project.packets_path), None)
+        if anchor is not None:
+            for kind, line in sorted(project.packet_kinds.items()):
+                if kind not in project.packet_fault_sites:
+                    anchor.report(self.id, self.severity, line,
+                                  f"packet kind {kind!r} has no entry in "
+                                  "PACKET_FAULT_SITES: which fault site "
+                                  "does it traverse?")
+            for kind, (site, line) in sorted(
+                    project.packet_fault_sites.items()):
+                if kind not in project.packet_kinds:
+                    anchor.report(self.id, self.severity, line,
+                                  f"PACKET_FAULT_SITES names {kind!r}, "
+                                  "which is not a PacketSizes method")
+                elif (project.packet_sites
+                      and site not in project.packet_sites):
+                    anchor.report(self.id, self.severity, line,
+                                  f"packet kind {kind!r} maps to "
+                                  f"{site!r}, not a packet fault site "
+                                  f"{project.packet_sites}")
+        # Uses: PacketSizes.<attr> anywhere in the scanned files.
+        legal = set(project.packet_kinds) | set(project.packet_consts)
+        used: set[str] = set()
+        scanned = {c.module for c in contexts}
+        for ctx in contexts:
+            if ctx.real_path == project.packets_path:
+                continue
+            for node in ast.walk(ctx.tree):
+                if (isinstance(node, ast.Attribute)
+                        and isinstance(node.value, ast.Name)
+                        and node.value.id == "PacketSizes"):
+                    used.add(node.attr)
+                    if node.attr not in legal:
+                        ctx.report(self.id, self.severity, node,
+                                   f"PacketSizes.{node.attr} is not a "
+                                   "declared packet kind or constant")
+        if anchor is not None and self.EMITTER in scanned:
+            for kind, line in sorted(project.packet_kinds.items()):
+                if kind not in used:
+                    anchor.report(self.id, self.severity, line,
+                                  f"packet kind {kind!r} is never emitted "
+                                  "by any scanned module: dead protocol "
+                                  "surface or missing dispatch")
+
+
+class MetricNameRule(Rule):
+    """PROTO002: every metric name published into a MetricsRegistry must
+    exist in the ``KNOWN_METRICS`` registry -- no typo'd dotted names."""
+
+    id = "PROTO002"
+    severity = "error"
+    description = "emitted metric names must exist in sim/metrics.py KNOWN_METRICS"
+    # the registry module defines the vocabulary, it does not emit into it
+    exclude = Rule.exclude + ("repro.sim.metrics",)
+
+    #: Receivers that look like a MetricsRegistry.  `.observe` also exists
+    #: on TimeoutTracker (a watchdog site, PROTO003), so the receiver
+    #: gate is what keeps the two rules from crossing.
+    METRIC_RECEIVERS = frozenset({"m", "metrics", "registry"})
+    #: Dict-building variables whose keys are metric names.
+    METRIC_DICTS = frozenset({"gauges", "counters"})
+
+    def check_file(self, ctx: FileContext, project) -> None:
+        if project is None or not project.known_metrics:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                self._check_call(ctx, project, node)
+            elif isinstance(node, ast.Assign):
+                self._check_assign(ctx, project, node)
+        for fn in ast.walk(ctx.tree):
+            if (isinstance(fn, ast.FunctionDef)
+                    and fn.name == "metrics_counters"):
+                self._check_counters_fn(ctx, project, fn)
+
+    def _check_name(self, ctx: FileContext, project, node: ast.AST) -> None:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            if not project.metric_known(node.value):
+                ctx.report(self.id, self.severity, node,
+                           f"metric name {node.value!r} is not in the "
+                           "KNOWN_METRICS registry (sim/metrics.py); "
+                           "typo, or register it")
+            return
+        prefix = _fstring_prefix(node)
+        if prefix is not None and not project.metric_prefix_known(prefix):
+            ctx.report(self.id, self.severity, node,
+                       f"no KNOWN_METRICS entry can match an f-string "
+                       f"metric name starting with {prefix!r}")
+
+    def _check_dict(self, ctx: FileContext, project, node: ast.AST) -> None:
+        if isinstance(node, ast.Dict):
+            for k in node.keys:
+                if k is not None:
+                    self._check_name(ctx, project, k)
+        elif isinstance(node, ast.DictComp):
+            self._check_name(ctx, project, node.key)
+
+    def _check_call(self, ctx: FileContext, project, node: ast.Call) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        recv = _receiver_name(func)
+        if (func.attr in ("counter", "histogram", "observe")
+                and recv in self.METRIC_RECEIVERS and node.args):
+            self._check_name(ctx, project, node.args[0])
+        elif func.attr == "set_counters" and node.args:
+            self._check_dict(ctx, project, node.args[0])
+        elif func.attr == "heartbeat" and recv in self.METRIC_RECEIVERS:
+            for arg in node.args[1:]:
+                self._check_dict(ctx, project, arg)
+
+    def _check_assign(self, ctx: FileContext, project,
+                      node: ast.Assign) -> None:
+        for t in node.targets:
+            if (isinstance(t, ast.Name) and t.id in self.METRIC_DICTS):
+                self._check_dict(ctx, project, node.value)
+            elif (isinstance(t, ast.Subscript)
+                  and isinstance(t.value, ast.Name)
+                  and t.value.id in self.METRIC_DICTS):
+                self._check_name(ctx, project, t.slice)
+
+    def _check_counters_fn(self, ctx: FileContext, project,
+                           fn: ast.FunctionDef) -> None:
+        """metrics_counters() bodies publish their dict keys verbatim."""
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.Dict, ast.DictComp)):
+                self._check_dict(ctx, project, node)
+            elif (isinstance(node, ast.Assign)
+                  and isinstance(node.targets[0], ast.Subscript)):
+                self._check_name(ctx, project, node.targets[0].slice)
+
+
+class FaultSiteRule(Rule):
+    """PROTO003: fault-site string literals at injection and watchdog call
+    sites must be declared in ``faults/plan.py``."""
+
+    id = "PROTO003"
+    severity = "error"
+    description = ("fault-site literals must be declared in faults/plan.py "
+                   "SITES / PACKET_SITES / WATCHDOG_SITES")
+
+    INJECTOR_RECEIVERS = frozenset({"faults", "fault_injector", "injector"})
+    WATCHDOG_RECEIVERS = frozenset({"timeouts"})
+
+    def check_file(self, ctx: FileContext, project) -> None:
+        if project is None or not project.sites:
+            return
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, (ast.Attribute, ast.Name))):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id == "FaultSpec":
+                    arg = _str_arg(node, 0, keyword="site")
+                    self._expect(ctx, arg, project.sites, "SITES")
+                continue
+            recv = _receiver_name(func)
+            if (func.attr == "packet"
+                    and recv in self.INJECTOR_RECEIVERS):
+                self._expect(ctx, _str_arg(node, 0),
+                             project.packet_sites or project.sites,
+                             "PACKET_SITES")
+            elif func.attr == "decide" and recv in self.INJECTOR_RECEIVERS:
+                self._expect(ctx, _str_arg(node, 0), project.sites, "SITES")
+            elif func.attr in ("with_site_timeout", "timeout_for"):
+                self._expect(ctx, _str_arg(node, 0),
+                             project.watchdog_sites, "WATCHDOG_SITES")
+            elif (func.attr in ("observe", "timeout")
+                  and recv in self.WATCHDOG_RECEIVERS):
+                self._expect(ctx, _str_arg(node, 0),
+                             project.watchdog_sites, "WATCHDOG_SITES")
+
+    def _expect(self, ctx: FileContext, arg: ast.Constant | None,
+                declared: tuple[str, ...], registry: str) -> None:
+        if arg is None or not declared:
+            return
+        if arg.value not in declared:
+            ctx.report(self.id, self.severity, arg,
+                       f"fault site {arg.value!r} is not declared in "
+                       f"{registry} {declared} (faults/plan.py)")
+
+
+PROTOCOL_RULES = (PacketCoverageRule, MetricNameRule, FaultSiteRule)

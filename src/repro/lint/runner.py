@@ -1,0 +1,161 @@
+"""Lint driver: collect files, run every rule, apply the baseline.
+
+:func:`run_lint` is the single entry point used by both ``repro lint``
+and :func:`repro.api.lint`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.baseline import (DEFAULT_BASELINE, apply_baseline,
+                                 load_baseline, write_baseline)
+from repro.lint.core import Finding, FileContext, Rule
+from repro.lint.determinism import DETERMINISM_RULES
+from repro.lint.facade import FACADE_RULES
+from repro.lint.project import Project, discover_project
+from repro.lint.protocol import PROTOCOL_RULES
+
+__all__ = ["ALL_RULES", "LintReport", "run_lint"]
+
+#: Every shipped rule class, in reporting-id order.
+ALL_RULES: tuple[type[Rule], ...] = (
+    DETERMINISM_RULES + PROTOCOL_RULES + FACADE_RULES)
+
+
+@dataclass
+class LintReport:
+    """What one lint invocation produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files: int = 0
+    project_root: str | None = None
+    baseline_path: str | None = None
+    baseline_entries: int = 0
+    updated_baseline: bool = False
+
+    @property
+    def live(self) -> list[Finding]:
+        return [f for f in self.findings if not f.baselined]
+
+    @property
+    def clean(self) -> bool:
+        return not self.live
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.clean else 1
+
+
+def _collect_files(paths) -> list[Path]:
+    files: list[Path] = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            files.extend(f for f in sorted(p.rglob("*.py"))
+                         if "__pycache__" not in f.parts)
+        elif p.suffix == ".py":
+            files.append(p)
+    # resolve + de-duplicate while keeping a stable order
+    seen: set[Path] = set()
+    out = []
+    for f in files:
+        r = f.resolve()
+        if r not in seen:
+            seen.add(r)
+            out.append(r)
+    return out
+
+
+def _module_name(path: Path) -> str:
+    """Dotted module for scope checks: .../src/repro/sim/store.py ->
+    'repro.sim.store'.  Files outside a repro package use their stem."""
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return ".".join(parts[i:])
+    return parts[-1] if parts else str(path)
+
+
+def _default_baseline(project: Project | None) -> Path | None:
+    """<repo-root>/.repro-lint-baseline.json, when the package root is
+    a conventional src/repro checkout."""
+    if project is None or not project.root:
+        return None
+    pkg = Path(project.root)
+    root = pkg.parent.parent if pkg.parent.name == "src" else pkg.parent
+    return root / DEFAULT_BASELINE
+
+
+def run_lint(paths, *, project: Project | None = None,
+             baseline: Path | str | None = None, use_baseline: bool = True,
+             update_baseline: bool = False,
+             rules=None) -> LintReport:
+    """Lint ``paths`` (files or directories).
+
+    ``project`` overrides contract discovery (tests);  ``baseline``
+    overrides the default ``<repo-root>/.repro-lint-baseline.json``;
+    ``use_baseline=False`` ignores any baseline; ``update_baseline``
+    rewrites the baseline from the current findings and reports clean.
+    ``rules`` restricts to an iterable of rule ids.
+    """
+    files = _collect_files(paths)
+    if project is None:
+        project = discover_project(files)
+    bpath = Path(baseline) if baseline else _default_baseline(project)
+    # Display (and baseline-key) paths are repo-root-relative so a lint
+    # run from anywhere produces identical keys.
+    display_root = (bpath.parent.resolve() if bpath is not None
+                    else Path.cwd().resolve())
+
+    contexts: list[FileContext] = []
+    findings: list[Finding] = []
+    for f in files:
+        try:
+            shown = str(f.relative_to(display_root))
+        except ValueError:
+            shown = str(f)
+        source = f.read_text()
+        try:
+            contexts.append(FileContext(shown, source, _module_name(f),
+                                        real_path=str(f)))
+        except SyntaxError as e:
+            findings.append(Finding(
+                rule="LINT003", severity="error", path=shown,
+                line=e.lineno or 1, col=(e.offset or 1) - 1,
+                message=f"syntax error: {e.msg}", snippet=(e.text or "").strip()))
+
+    wanted = set(rules) if rules is not None else None
+    active = [cls() for cls in ALL_RULES
+              if wanted is None or cls.id in wanted]
+    for rule in active:
+        for ctx in contexts:
+            if rule.applies_to(ctx.module):
+                rule.check_file(ctx, project)
+    if project is not None:
+        scoped = [c for c in contexts
+                  if not c.module.startswith("repro.lint")]
+        for rule in active:
+            rule.check_project(project, scoped)
+    checked = None if wanted is None else {r.id for r in active}
+    for ctx in contexts:
+        ctx.finish(checked)
+        findings.extend(ctx.findings)
+
+    report = LintReport(findings=findings, files=len(files),
+                        project_root=project.root if project else None)
+    if bpath is not None and use_baseline:
+        report.baseline_path = str(bpath)
+        if update_baseline:
+            report.baseline_entries = write_baseline(findings, bpath)
+            report.updated_baseline = True
+            report.findings = apply_baseline(
+                findings, load_baseline(bpath))
+        else:
+            entries = load_baseline(bpath)
+            report.baseline_entries = len(entries)
+            report.findings = apply_baseline(findings, entries)
+    return report

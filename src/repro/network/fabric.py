@@ -40,7 +40,10 @@ class MemoryNetwork:
         self.graph: nx.Graph = hypercube_topology(cfg.num_hmcs)
         bpc = cfg.hmc.link_bytes_per_sm_cycle(cfg.gpu.sm_clock_mhz)
         self._links: dict[tuple[int, int], Link] = {}
-        for u, v in self.graph.edges:
+        # sorted(): networkx edge order is adjacency-insertion order; a
+        # canonical construction order keeps link ids and any future
+        # iteration over _links independent of topology-builder internals.
+        for u, v in sorted(self.graph.edges):
             for a, b in ((u, v), (v, u)):
                 self._links[(a, b)] = Link(
                     engine, f"net{a}->{b}", bpc, latency=HOP_LATENCY,

@@ -38,6 +38,39 @@ DEFAULT_HEARTBEAT_CYCLES = 1000
 #: Default histogram bucket upper bounds (occupancy-style quantities).
 DEFAULT_BOUNDS = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256)
 
+#: The metric-name registry: every dotted name published into a
+#: :class:`MetricsRegistry` must appear here, either verbatim or by
+#: matching a ``prefix.*`` pattern (names keyed by an open vocabulary:
+#: packet kinds, fault sites, traffic classes, recovery counters).
+#: ``repro lint`` (PROTO002) statically checks emission sites against
+#: this set, so a typo'd metric name fails CI instead of silently
+#: splitting a time series.
+KNOWN_METRICS = frozenset({
+    # SM / NSU execution
+    "sm.live_warps", "sm.ready_warps", "sm.instructions",
+    "nsu.warps", "nsu.cmd_queue", "nsu.read_buf", "nsu.wta_buf",
+    "nsu.instructions",
+    "warps.completed",
+    # memory system
+    "vault.queue_total", "vault.queue_max", "vault.queue_occupancy",
+    "dram.activations", "l2.misses",
+    # fabrics / engine
+    "gpu_link.max_queue_delay", "mem_net.max_queue_delay",
+    "engine.pending_events",
+    # Figure 8 stall attribution
+    "stall.exec_unit_busy", "stall.dependency", "stall.warp_idle",
+    # open vocabularies
+    "traffic.*", "packets.*", "faults.*", "recovery.*",
+})
+
+
+def is_known_metric(name: str) -> bool:
+    """True when ``name`` is registered, verbatim or via a pattern."""
+    if name in KNOWN_METRICS:
+        return True
+    return any(p.endswith(".*") and name.startswith(p[:-1])
+               for p in KNOWN_METRICS)
+
 
 @dataclass
 class Counter:
@@ -126,7 +159,7 @@ class MetricsRegistry:
     def set_counters(self, values: dict[str, int | float],
                      prefix: str = "") -> None:
         """Publish a component's cumulative counters under a prefix."""
-        for k, v in values.items():
+        for k, v in sorted(values.items()):
             self.counter(f"{prefix}{k}" if prefix else k).set(v)
 
     # -- record stream -------------------------------------------------------

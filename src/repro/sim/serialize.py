@@ -26,6 +26,7 @@ def result_from_dict(d: dict) -> RunResult:
     # Tolerate fields added by newer code: archived results (and store
     # entries written before a field was removed) still load.
     known = {f.name for f in dataclasses.fields(RunResult)}
+    # lint: ignore[DET002] -- kwargs construction is order-insensitive
     return RunResult(**{k: v for k, v in d.items() if k in known})
 
 
@@ -35,7 +36,7 @@ def dump_results(results: dict[str, RunResult] | list[RunResult],
     if isinstance(results, dict):
         payload = {"kind": "dict",
                    "results": {k: result_to_dict(v)
-                               for k, v in results.items()}}
+                               for k, v in sorted(results.items())}}
     else:
         payload = {"kind": "list",
                    "results": [result_to_dict(v) for v in results]}
@@ -48,6 +49,7 @@ def load_results(path: str):
     with open(path) as f:
         payload = json.load(f)
     if payload["kind"] == "dict":
-        return {k: result_from_dict(v)
-                for k, v in payload["results"].items()}
+        loaded = payload["results"]
+        # lint: ignore[DET002] -- preserves the file's own key order
+        return {k: result_from_dict(v) for k, v in loaded.items()}
     return [result_from_dict(v) for v in payload["results"]]

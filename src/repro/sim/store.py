@@ -122,6 +122,8 @@ class ResultStore:
             "format": STORE_FORMAT,
             "key": key,
             "salt": CODE_VERSION_SALT,
+            # lint: ignore[DET005] -- store metadata only; never read
+            # back into a RunResult
             "created": time.time(),
             "meta": {"workload": result.workload,
                      "config": result.config_name, **(meta or {})},

@@ -84,7 +84,7 @@ class MessageTrace:
             c = out.setdefault(e.kind, [0, 0])
             c[0] += 1
             c[1] += e.size
-        result = {k: (v[0], v[1]) for k, v in out.items()}
+        result = {k: (v[0], v[1]) for k, v in sorted(out.items())}
         if self.dropped:
             result["DROPPED"] = (self.dropped, 0)
         return result

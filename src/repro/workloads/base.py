@@ -17,6 +17,7 @@ reuse distance -- while the ``Scale`` presets set the total footprint.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -173,7 +174,10 @@ class WorkloadModel:
         lanes = np.arange(cfg.gpu.warp_width, dtype=np.int64)
         traces = []
         for w in range(scale.num_warps):
-            rng = np.random.default_rng((cfg.seed, hash(self.name) & 0xFFFF, w))
+            # crc32, not hash(): hash() of a str varies with PYTHONHASHSEED,
+            # which made trace digests differ across processes (DET004).
+            name_key = zlib.crc32(self.name.encode()) & 0xFFFF
+            rng = np.random.default_rng((cfg.seed, name_key, w))
             traces.append(self._warp_trace(w, scale, segments, arrays,
                                            lanes, rng))
         return WorkloadInstance(self.name, analyzed, traces, scale)

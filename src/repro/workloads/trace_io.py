@@ -42,6 +42,8 @@ def save_instance(instance: WorkloadInstance, path: str) -> None:
     positions: dict[int, tuple[int, int]] = {}
     for b_idx, bb in enumerate(kernel.blocks):
         for i_idx, ins in enumerate(bb.instrs):
+            # lint: ignore[DET004] -- in-process identity map; only the
+            # (block, instr) indices it resolves to are ever serialized
             positions[id(ins)] = (b_idx, i_idx)
 
     warps = []
@@ -57,6 +59,7 @@ def save_instance(instance: WorkloadInstance, path: str) -> None:
                             for g in item.mem_accesses],
                 })
             else:
+                # lint: ignore[DET004] -- same-process lookup in the map above
                 b_idx, i_idx = positions[id(item.instr)]
                 items.append({
                     "t": "i",

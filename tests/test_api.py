@@ -169,3 +169,55 @@ class TestHelpers:
         assert repro.sweep is api.sweep
         assert repro.chaos is api.chaos
         assert repro.make_runner is api.make_runner
+
+
+class TestAuditFacade:
+    """``audit=True`` on sweep/chaos gives grid cells the same post-run
+    audit that ``api.run`` performs (ROADMAP open item)."""
+
+    def test_sweep_audit_clean(self):
+        out = api.sweep("VADD", configs=("NDP(Dyn)",), base=ci_config(),
+                        scale="ci", use_store=False, audit=True)
+        assert out.audit_failures == {}
+
+    def test_sweep_audit_failures_surface(self, monkeypatch):
+        import repro.sim.validate as validate
+        monkeypatch.setattr(validate, "audit_system",
+                            lambda system, result: ["synthetic violation"])
+        out = api.sweep("VADD", configs=("NDP(Dyn)",), base=ci_config(),
+                        scale="ci", use_store=False, audit=True)
+        assert out.audit_failures == {"NDP(Dyn)": ["synthetic violation"]}
+
+    def test_sweep_audit_failures_never_persisted(self, tmp_path,
+                                                  monkeypatch):
+        import repro.sim.validate as validate
+        monkeypatch.setattr(validate, "audit_system",
+                            lambda system, result: ["synthetic violation"])
+        out = api.sweep("VADD", configs=("NDP(Dyn)",), base=ci_config(),
+                        scale="ci", store=str(tmp_path), use_store=True,
+                        audit=True)
+        assert out.audit_failures
+        assert len(ResultStore(str(tmp_path))) == 0
+
+    def test_sweep_audit_off_by_default(self):
+        out = api.sweep("VADD", configs=("NDP(Dyn)",), base=ci_config(),
+                        scale="ci", use_store=False)
+        assert out.audit_failures == {}
+
+    def test_chaos_reference_audit(self):
+        report = api.chaos(scenario="rdf-drop", rates=(0.0,),
+                           configs=("NDP(Dyn)",), base=ci_config(),
+                           scale="ci", use_store=False, audit=True,
+                           max_cycles=5_000_000)
+        assert report.ref_audit_failures == {}
+
+    def test_chaos_reference_audit_failures_surface(self, monkeypatch):
+        import repro.sim.validate as validate
+        monkeypatch.setattr(validate, "audit_system",
+                            lambda system, result: ["synthetic violation"])
+        report = api.chaos(scenario="rdf-drop", rates=(0.0,),
+                           configs=("NDP(Dyn)",), base=ci_config(),
+                           scale="ci", use_store=False, audit=True,
+                           max_cycles=5_000_000)
+        assert report.ref_audit_failures == {
+            "VADD/NDP(Dyn)": ["synthetic violation"]}

@@ -11,6 +11,9 @@ simulator.
 
 import hashlib
 import json
+import os
+import subprocess
+import sys
 
 import pytest
 
@@ -140,10 +143,12 @@ class TestAdaptiveTimeouts:
 class TestUnarmedDigests:
     """Unarmed runs are bit-identical to the pre-recovery simulator.
 
-    Digests were captured from the seed tree (commit 4999bdf) before the
-    baseline-recovery changes landed.  BFS is excluded: its generator
-    iterates sets, so results depend on PYTHONHASHSEED (pre-existing,
-    noted in ROADMAP.md).
+    VADD/KMN digests were captured from the seed tree (commit 4999bdf)
+    before the baseline-recovery changes landed.  The BFS digest was
+    refreshed when workload RNG seeding switched from ``hash(name)``
+    (PYTHONHASHSEED-dependent, flagged by ``repro lint`` rule DET004) to
+    ``zlib.crc32``: BFS consumes the per-warp RNG, so its traces -- and
+    only then its digest -- depend on that seed component.
     """
 
     EXPECTED = {
@@ -153,6 +158,8 @@ class TestUnarmedDigests:
             "d5bf548c1e545fb3cd00d93ff26301ef882f454688048baee84e5f5891ef996d",
         ("KMN", "NDP(Dyn)_Cache"):
             "2acecddc7e259ad35edcafd9c32d19741bfdb35faad8a0f2ce2d56afce7f3976",
+        ("BFS", "NDP(Dyn)"):
+            "a1445f286ed3325342c0a57b09f18cfc83fa5e9d844aec4afeaab8a4a11b4685",
     }
 
     @pytest.mark.parametrize("workload,config", sorted(EXPECTED))
@@ -161,6 +168,31 @@ class TestUnarmedDigests:
                               scale="ci")
         result = system.run(max_cycles=20_000_000)
         assert _digest(result) == self.EXPECTED[(workload, config)]
+
+    @pytest.mark.parametrize("hashseed", ["0", "1"])
+    def test_bfs_digest_stable_across_hash_seeds(self, hashseed):
+        # The pre-fix bug: hash(self.name) in the RNG seed tuple made BFS
+        # traces vary with PYTHONHASHSEED, which pytest inherits -- so an
+        # in-process digest check could never catch it.  Run in a child
+        # with a pinned, different hash seed each time.
+        code = (
+            "import hashlib, json\n"
+            "from repro.config import ci_config\n"
+            "from repro.sim.runner import build_system\n"
+            "from repro.sim.serialize import result_to_dict\n"
+            "system = build_system('BFS', 'NDP(Dyn)', base=ci_config(),"
+            " scale='ci')\n"
+            "result = system.run(max_cycles=20_000_000)\n"
+            "blob = json.dumps(result_to_dict(result), sort_keys=True)\n"
+            "print(hashlib.sha256(blob.encode()).hexdigest())\n")
+        env = dict(os.environ, PYTHONHASHSEED=hashseed,
+                   PYTHONPATH="src")
+        proc = subprocess.run([sys.executable, "-c", code], env=env,
+                              capture_output=True, text=True,
+                              cwd=os.path.dirname(os.path.dirname(
+                                  os.path.abspath(__file__))))
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == self.EXPECTED[("BFS", "NDP(Dyn)")]
 
     def test_armed_zero_rate_matches_unarmed_cycles(self):
         # Arming recovery with a zero-rate plan must not perturb timing:

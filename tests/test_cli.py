@@ -157,3 +157,45 @@ class TestStoreCommands:
         assert recs[-1]["kind"] == "summary"
         assert "packets.CMD" in recs[-1]["counters"]
         assert "stall.dependency" in recs[-1]["counters"]
+
+
+class TestLintCommand:
+    def test_flags_parse(self):
+        p = build_parser()
+        a = p.parse_args(["lint", "src/repro", "--format", "json",
+                          "--no-baseline", "--rules", "DET001,DET004"])
+        assert callable(a.fn)
+        assert a.paths == ["src/repro"]
+        assert a.format == "json" and a.no_baseline
+        assert a.rules == "DET001,DET004"
+
+    def test_audit_flag_on_run_sweep_chaos(self):
+        p = build_parser()
+        for cmd in (["run", "VADD", "Baseline", "--audit"],
+                    ["sweep", "KMN", "--audit"], ["chaos", "--audit"]):
+            assert p.parse_args(cmd).audit
+        assert not p.parse_args(["run", "VADD", "Baseline"]).audit
+
+    def test_lint_shipped_tree_is_clean(self, capsys):
+        import pathlib
+        root = pathlib.Path(__file__).resolve().parent.parent
+        assert main(["lint", str(root / "src" / "repro")]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_reports_violation_as_json(self, tmp_path, capsys):
+        import json
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f():\n"
+                       "    s = {1, 2}\n"
+                       "    for x in s:\n"
+                       "        print(x)\n")
+        assert main(["lint", str(bad), "--format", "json",
+                     "--no-baseline"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["error"] == 1
+        assert payload["findings"][0]["rule"] == "DET001"
+
+    def test_run_audit_flag_end_to_end(self, capsys):
+        assert main(["--scale", "ci", "--no-store",
+                     "run", "VADD", "Baseline", "--audit"]) == 0
+        assert "cycles" in capsys.readouterr().out
