@@ -37,20 +37,22 @@ def geomean(values) -> float:
 def _run_cell(args) -> "RunResult":
     """Module-level worker for parallel prefetching (must be picklable).
 
-    ``args`` is ``(workload, config, base, scale, max_cycles)`` plus an
-    optional trailing audit flag (older 5-tuples still work).  With audit
-    on, the invariant audit runs in the worker -- the ``System`` cannot
-    cross the pool boundary -- and its failures ride back on
-    ``result.extra["audit"]``.
+    ``args`` is ``(workload, config, base, scale, max_cycles)`` plus
+    optional trailing audit flag and scheduler name (older 5-/6-tuples
+    still work).  With audit on, the invariant audit runs in the worker
+    -- the ``System`` cannot cross the pool boundary -- and its failures
+    ride back on ``result.extra["audit"]``.
     """
     workload, config, base, scale, max_cycles, *rest = args
     audit = bool(rest[0]) if rest else False
+    sched = rest[1] if len(rest) > 1 else "active"
     if not audit:
         return run_workload(workload, config, base=base, scale=scale,
-                            max_cycles=max_cycles)
+                            max_cycles=max_cycles, sched=sched)
     from repro.sim.runner import build_system
     from repro.sim.validate import audit_system
-    system = build_system(workload, config, base=base, scale=scale)
+    system = build_system(workload, config, base=base, scale=scale,
+                          sched=sched)
     result = system.run(max_cycles=max_cycles)
     result.extra["audit"] = {"failures": audit_system(system, result)}
     return result
@@ -62,14 +64,17 @@ def _run_chaos_cell(args) -> tuple[str, "RunResult | None"]:
     Builds, runs and audits in one process (a ``System`` cannot cross the
     pool boundary) and returns ``(outcome, result)`` with the chaos
     outcome vocabulary: ``clean`` / ``recovered`` / ``audit-fail`` /
-    ``fatal`` (result is None for fatal -- the run deadlocked).
+    ``fatal`` (result is None for fatal -- the run deadlocked).  An
+    optional trailing scheduler name follows the plan (older 6-tuples
+    still work).
     """
-    workload, config, base, scale, max_cycles, plan = args
+    workload, config, base, scale, max_cycles, plan, *rest = args
+    sched = rest[0] if rest else "active"
     from repro.sim.runner import build_system
     from repro.sim.system import SimulationTimeout
     from repro.sim.validate import audit_system
     system = build_system(workload, config, base=base, scale=scale,
-                          faults=plan)
+                          faults=plan, sched=sched)
     try:
         result = system.run(max_cycles=max_cycles)
     except SimulationTimeout:
@@ -118,7 +123,7 @@ class ExperimentRunner:
                  max_cycles: int = 20_000_000, verbose: bool = False,
                  parallel: int = 1, store=None,
                  worker_timeout: float = 900.0,
-                 audit: bool = False) -> None:
+                 audit: bool = False, sched: str = "active") -> None:
         self.base = base or paper_config()
         self.scale = scale
         self.workloads = list(workloads or workload_names())
@@ -130,6 +135,11 @@ class ExperimentRunner:
         # never persisted.  Store/memory hits are served as-is: anything
         # already persisted passed its audit (or predates auditing).
         self.audit = audit
+        # Main-loop scheduler for simulated cells ("active"/"legacy").
+        # Deliberately NOT part of the store key: both schedulers are
+        # bit-identical (docs/performance.md), so cached results are
+        # valid for either.
+        self.sched = sched
         self.store = (store if (store is None
                                 or isinstance(store, ResultStore))
                       else ResultStore(store))
@@ -168,6 +178,11 @@ class ExperimentRunner:
 
     # -- cell access ---------------------------------------------------------
 
+    def _cell_args(self, workload: str, config: str) -> tuple:
+        """The ``_run_cell`` argument tuple for one grid cell."""
+        return (workload, config, self.base, self.scale, self.max_cycles,
+                self.audit, self.sched)
+
     def result(self, workload: str, config: str) -> RunResult:
         key = (workload, config)
         cached = self._cache.get(key)
@@ -184,8 +199,7 @@ class ExperimentRunner:
         self.stats.sim_runs += 1
         # The real in-process path, deliberately not self._worker: the
         # test seams only redirect the pool, never serial execution.
-        res = _run_cell((workload, config, self.base, self.scale,
-                         self.max_cycles) + ((True,) if self.audit else ()))
+        res = _run_cell(self._cell_args(workload, config))
         self._remember(workload, config, res,
                        persist=not self._audit_failures(res))
         return res
@@ -219,8 +233,7 @@ class ExperimentRunner:
                                persist=not self._audit_failures(res))
 
             def make_arg(key):
-                return (key[0], key[1], self.base, self.scale,
-                        self.max_cycles) + ((True,) if self.audit else ())
+                return self._cell_args(key[0], key[1])
 
             todo = self._parallel_map(todo, make_arg, self._worker,
                                       remember, what="prefetch")
@@ -334,7 +347,7 @@ class ExperimentRunner:
         def make_arg(key):
             w, c, pkey = key
             return (w, c, self.base, self.scale, self.max_cycles,
-                    plans[pkey])
+                    plans[pkey], self.sched)
 
         def record(key, value):
             outcome, res = value

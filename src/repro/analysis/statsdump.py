@@ -31,7 +31,7 @@ def dump_stats(system, result: RunResult) -> str:
     _w(buf, 0, "warps_completed", result.warps_completed)
 
     buf.write("stalls:\n")
-    for k, v in result.stalls.as_dict().items():
+    for k, v in result.stalls.as_dict().items():  # lint: ignore[DET002] -- stall-dataclass field order, text dump only
         _w(buf, 1, k, v)
 
     buf.write("gpu.caches:\n")
@@ -91,6 +91,6 @@ def dump_stats(system, result: RunResult) -> str:
             _w(buf, 1, f"nsu{nsu.hmc_id}.wtabuf_peak", nsu.wta_buf.peak)
 
     buf.write("traffic:\n")
-    for k, v in result.traffic.as_dict().items():
+    for k, v in result.traffic.as_dict().items():  # lint: ignore[DET002] -- traffic-dataclass field order, text dump only
         _w(buf, 1, k, v)
     return buf.getvalue()

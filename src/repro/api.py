@@ -13,6 +13,8 @@ Everything the CLI can do is reachable from Python through four calls:
   workload), parallel by default, returning a :class:`ChaosReport`.
 * :func:`make_runner` -- the shared :class:`ExperimentRunner` factory for
   figure/report-style grid consumers.
+* :func:`bench` -- the pinned simulator-performance grid
+  (:mod:`repro.perf`), with baseline files and ``--compare`` support.
 
 The low-level primitives (:func:`repro.sim.runner.build_system`,
 :func:`repro.sim.runner.run_workload`) remain supported for users who
@@ -36,9 +38,10 @@ from repro.sim.store import ResultStore, cell_key
 from repro.sim.system import SimulationTimeout
 from repro.sim.validate import audit_system
 
-__all__ = ["ChaosCell", "ChaosReport", "RunOutcome", "RunRequest",
-           "SweepOutcome", "base_config", "chaos", "fault_plan", "lint",
-           "make_runner", "resolve_store", "run", "sweep"]
+__all__ = ["BenchOutcome", "ChaosCell", "ChaosReport", "RunOutcome",
+           "RunRequest", "SweepOutcome", "base_config", "bench", "chaos",
+           "fault_plan", "lint", "make_runner", "resolve_store", "run",
+           "sweep"]
 
 
 # -- shared resolution helpers (subsume the old private cli plumbing) --------
@@ -121,6 +124,9 @@ class RunRequest:
     metrics: object = None          # a MetricsRegistry, if any
     trace: bool = False             # arm a MessageTrace on the NDP
     audit: bool = False             # always audit (faulted runs always are)
+    #: Main-loop scheduler ("active"/"legacy"); bit-identical results, so
+    #: store keys ignore it (see docs/performance.md).
+    sched: str = "active"
 
     def resolved_config(self) -> SystemConfig:
         return base_config(base=self.base, sms=self.sms,
@@ -183,7 +189,8 @@ def run(request: RunRequest | None = None, **kwargs) -> RunOutcome:
                               store_key=key, store_root=root)
 
     system = build_system(req.workload, req.config, base=cfg,
-                          scale=req.scale, metrics=req.metrics, faults=plan)
+                          scale=req.scale, metrics=req.metrics, faults=plan,
+                          sched=req.sched)
     trace = None
     if req.trace and system.ndp is not None:
         from repro.sim.tracing import MessageTrace
@@ -219,8 +226,8 @@ def make_runner(*, base: SystemConfig | None = None, sms: int | None = None,
                 workloads=None, parallel: int = 1,
                 store: ResultStore | str | None = None,
                 use_store: bool = True, max_cycles: int = 20_000_000,
-                verbose: bool = False,
-                audit: bool = False) -> ExperimentRunner:
+                verbose: bool = False, audit: bool = False,
+                sched: str = "active") -> ExperimentRunner:
     """The canonical :class:`ExperimentRunner` factory (figure/report
     grids, benchmarks, and the building block under :func:`sweep` and
     :func:`chaos`).  ``audit=True`` runs the invariant audit on every
@@ -231,7 +238,8 @@ def make_runner(*, base: SystemConfig | None = None, sms: int | None = None,
                          ro_cache=ro_cache, target_policy=target_policy),
         scale=scale, workloads=workloads, max_cycles=max_cycles,
         verbose=verbose, parallel=max(1, parallel or 1),
-        store=resolve_store(store, use_store=use_store), audit=audit)
+        store=resolve_store(store, use_store=use_store), audit=audit,
+        sched=sched)
 
 
 @dataclass
@@ -288,11 +296,19 @@ class ChaosCell:
     outcome: str                   # clean / recovered / audit-fail / fatal
     cycles: int | None             # None when fatal
     slowdown: float | None         # vs the fault-free reference run
+    #: Total energy (nJ) of this cell, from the run's event/byte counters
+    #: (retry and replay traffic included), and its ratio vs the
+    #: fault-free reference -- the energy cost of riding out the faults.
+    energy_nj: float | None = None
+    energy_ratio: float | None = None
 
     def label(self) -> str:
         if self.slowdown is None:
             return self.outcome
-        return f"{self.outcome} x{self.slowdown:.2f}"
+        label = f"{self.outcome} x{self.slowdown:.2f}"
+        if self.energy_ratio is not None:
+            label += f" e{self.energy_ratio:.2f}"
+        return label
 
 
 @dataclass
@@ -306,6 +322,9 @@ class ChaosReport:
     configs: tuple[str, ...]
     rates: tuple[float, ...]
     ref_cycles: dict[tuple[str, str], int]
+    #: Fault-free reference energy (nJ) per (workload, config) -- the
+    #: denominator of every cell's ``energy_ratio``.
+    ref_energy_nj: dict[tuple[str, str], float]
     cells: dict[tuple[str, str, float], ChaosCell]
     stats: RunnerStats
     store_root: str | None
@@ -365,22 +384,69 @@ def chaos(*, scenario: str = "rdf-drop", rates=(0.0, 0.01, 0.05),
     ref_failures = {f"{w}/{c}": f
                     for (w, c), r in sorted(ref_results.items())
                     if (f := _cell_audit_failures(r))}
+    from repro.energy import compute_energy
+    ref_energy = {(w, c): compute_energy(r, runner.config(c)).total
+                  for (w, c), r in sorted(ref_results.items())}
     grid = runner.chaos_grid(plans, configs, workloads)
     cells = {}
     # Sorted for a deterministic cell order regardless of grid scheduling.
     for key in sorted(grid):
         w, c, rate = key
         outcome, res = grid[key]
+        energy = (compute_energy(res, runner.config(c)).total
+                  if res is not None else None)
         cells[key] = ChaosCell(
             outcome=outcome,
             cycles=res.cycles if res is not None else None,
-            slowdown=(res.cycles / ref[(w, c)] if res is not None else None))
+            slowdown=(res.cycles / ref[(w, c)] if res is not None else None),
+            energy_nj=energy,
+            energy_ratio=(energy / ref_energy[(w, c)]
+                          if energy is not None else None))
     return ChaosReport(
         scenario=scenario, fault_seed=fault_seed, scale=str(runner.scale),
         workloads=workloads, configs=configs, rates=rates, ref_cycles=ref,
-        cells=cells, stats=runner.stats,
+        ref_energy_nj=ref_energy, cells=cells, stats=runner.stats,
         store_root=str(runner.store.root) if runner.store else None,
         ref_audit_failures=ref_failures)
+
+
+# -- simulator performance ----------------------------------------------------
+
+@dataclass
+class BenchOutcome:
+    """What :func:`bench` produced: the measurement report, where it was
+    written (None when not persisted) and the optional comparison against
+    a baseline report."""
+
+    report: dict
+    path: str | None = None
+    comparison: dict | None = None
+
+    @property
+    def geomean_speedup(self) -> float | None:
+        return self.comparison["geomean"] if self.comparison else None
+
+
+def bench(*, sched: str = "active", suites=("sparse",), quick: bool = False,
+          repeats: int = 2, max_cycles: int = 20_000_000,
+          out: str | None = None, compare: str | None = None,
+          progress=None) -> BenchOutcome:
+    """Run the pinned simulator benchmark grid (:mod:`repro.perf.bench`).
+
+    Times the *simulator*, not the simulated machine: every cell builds
+    and runs fresh (the result store is never consulted).  ``out`` is a
+    directory to write ``BENCH_<rev>.json`` into (None skips the write);
+    ``compare`` is a previously written report to compute per-cell and
+    geomean speedups against.  See docs/performance.md.
+    """
+    from repro.perf import bench as perf
+    report = perf.run_bench(sched=sched, suites=suites, quick=quick,
+                            repeats=repeats, max_cycles=max_cycles,
+                            progress=progress)
+    path = perf.write_report(report, out) if out is not None else None
+    comparison = (perf.compare(report, perf.load_report(compare))
+                  if compare else None)
+    return BenchOutcome(report=report, path=path, comparison=comparison)
 
 
 # -- static analysis ----------------------------------------------------------

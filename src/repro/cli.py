@@ -13,11 +13,15 @@ Commands
 * ``overhead``                          -- §7.5 hardware overhead
 * ``chaos``                             -- fault-rate degradation sweep
 * ``lint [PATHS...]``                   -- static determinism/protocol analyzer
+* ``bench``                             -- simulator wall-clock benchmark
+  (pinned grid, ``BENCH_<rev>.json`` baselines, ``--compare``)
 
 Common flags: ``--scale ci|bench|paper``, ``--workloads A,B,...``,
 ``--store DIR`` / ``--no-store`` (persistent result cache, default from
 ``$REPRO_STORE``), ``--parallel N`` (process-pool sweeps), ``--sms N``,
-``--nsu-mhz F``, ``--ro-cache BYTES``, ``--target-policy first|optimal``.
+``--nsu-mhz F``, ``--ro-cache BYTES``, ``--target-policy first|optimal``,
+``--sched active|legacy`` (main-loop scheduler; bit-identical results,
+see docs/performance.md).
 ``run`` additionally accepts ``--stats``, ``--trace``,
 ``--metrics OUT.jsonl`` (see docs/observability.md) and
 ``--faults SCENARIO --fault-rate R --fault-seed S`` (deterministic fault
@@ -88,7 +92,8 @@ def _runner(args, **overrides) -> F.ExperimentRunner:
                  else workload_names())
     kwargs = dict(scale=args.scale, workloads=workloads, verbose=True,
                   parallel=args.parallel or 1, store=args.store,
-                  use_store=not args.no_store, **_config_kwargs(args))
+                  use_store=not args.no_store, sched=args.sched,
+                  **_config_kwargs(args))
     kwargs.update(overrides)
     return api.make_runner(**kwargs)
 
@@ -123,7 +128,7 @@ def cmd_run(args) -> int:
             # --stats needs a live system; force a fresh simulation.
             use_store=not (args.no_store or args.stats),
             metrics=registry, trace=args.trace, audit=args.audit,
-            **_config_kwargs(args))
+            sched=args.sched, **_config_kwargs(args))
         out = api.run(req)
     except KeyError as e:
         print(str(e.args[0]) if e.args else str(e), file=sys.stderr)
@@ -318,7 +323,8 @@ def cmd_chaos(args) -> int:
         print(str(e.args[0]) if e.args else str(e), file=sys.stderr)
         return 2
 
-    width = max(max(len(c) for c in configs), 17) + 2
+    # Cell labels run up to "recovered x9.99 e9.99" (21 chars + outcome).
+    width = max(max(len(c) for c in configs), 22) + 2
     for w in workloads:
         print(f"\n{w} / {args.scenario} (seed {args.fault_seed}, "
               f"scale {args.scale})")
@@ -356,6 +362,33 @@ def cmd_lint(args) -> int:
             print(f"baseline: wrote {report.baseline_entries} entries to "
                   f"{report.baseline_path}")
     return report.exit_code
+
+
+def cmd_bench(args) -> int:
+    """Time the pinned simulator benchmark grid (docs/performance.md)."""
+    from repro.perf import format_compare
+
+    suites = tuple(s.strip() for s in args.suites.split(",") if s.strip())
+    try:
+        out = api.bench(sched=args.sched, suites=suites, quick=args.quick,
+                        repeats=args.repeats, max_cycles=args.max_cycles,
+                        out=args.out, compare=args.compare,
+                        progress=print)
+    except (KeyError, ValueError, OSError) as e:
+        print(str(e.args[0]) if e.args else str(e), file=sys.stderr)
+        return 2
+    if out.path:
+        print(f"wrote {out.path}")
+    if out.comparison is not None:
+        for line in format_compare(out.comparison):
+            print(line)
+        if (args.min_speedup
+                and out.comparison["geomean"] < args.min_speedup):
+            print(f"FAIL: geomean speedup x{out.comparison['geomean']:.2f} "
+                  f"is below the required x{args.min_speedup:.2f}",
+                  file=sys.stderr)
+            return 1
+    return 0
 
 
 def cmd_report(args) -> int:
@@ -410,6 +443,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ro-cache", type=int,
                    help="NSU read-only cache bytes (extension)")
     p.add_argument("--target-policy", choices=["first", "optimal"])
+    p.add_argument("--sched", choices=["active", "legacy"],
+                   default="active",
+                   help="main-loop scheduler (bit-identical results; "
+                        "'active' parks idle SMs, 'legacy' ticks "
+                        "everything -- see docs/performance.md)")
     sub = p.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list").set_defaults(fn=cmd_list)
@@ -488,6 +526,25 @@ def build_parser() -> argparse.ArgumentParser:
     pl.add_argument("--rules", metavar="IDS",
                     help="comma-separated rule ids to run (default: all)")
     pl.set_defaults(fn=cmd_lint)
+
+    pb = sub.add_parser("bench")
+    pb.add_argument("--suites", default="sparse",
+                    help="comma-separated bench suites (sparse, dense; "
+                         "default sparse -- the pinned grid ignores "
+                         "--scale/--workloads)")
+    pb.add_argument("--quick", action="store_true",
+                    help="run the 2-cell CI smoke subset")
+    pb.add_argument("--repeats", type=int, default=2,
+                    help="timed runs per cell; best is recorded (default 2)")
+    pb.add_argument("--max-cycles", type=int, default=20_000_000)
+    pb.add_argument("--out", default=".", metavar="DIR",
+                    help="directory for BENCH_<rev>.json (default: cwd)")
+    pb.add_argument("--compare", metavar="FILE",
+                    help="baseline BENCH_*.json to compute speedups against")
+    pb.add_argument("--min-speedup", type=float, metavar="X",
+                    help="with --compare: exit 1 if the geomean speedup "
+                         "is below X")
+    pb.set_defaults(fn=cmd_bench)
 
     pre = sub.add_parser("report")
     pre.add_argument("-o", "--output", help="write markdown to a file")

@@ -469,6 +469,11 @@ class NDPController:
             # Any entries whose credit-return message was dropped are
             # restored here: the manager knows what the block reserved.
             self._reconcile_held(inst)
+        # complete_offload is a waker-hooked mutator: the active
+        # scheduler settles the SM's parked idle cycles before the ACK
+        # registers land (invariant I1, docs/performance.md).  We only
+        # reach here from engine events (ACK delivery), never from
+        # another SM's tick (invariant I3).
         inst.sm.complete_offload(inst.warp)
 
     # -- NSU write routing + coherence (Sections 4.1.2 / 4.2) -----------------------
@@ -671,4 +676,8 @@ class NDPController:
         self._abort_attempt(inst)
         inst.completed = True
         self._instances.pop(inst.uid, None)
+        # fallback_inline is the third waker-hooked mutator (with
+        # wake_warp and complete_offload): it runs off watchdog/NACK
+        # engine events, so the parked SM's stall accounting settles
+        # before the warp is re-armed (docs/performance.md, I1/I3).
         inst.sm.fallback_inline(inst.warp)

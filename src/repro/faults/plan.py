@@ -70,6 +70,11 @@ class FaultSpec:
         if self.kind == "delay" and self.site not in PACKET_SITES:
             raise ValueError(f"site {self.site!r} cannot delay; only "
                              f"packet sites {PACKET_SITES} can")
+        if self.kind == "delay" and self.delay_cycles <= 0:
+            # Engine.after() rejects non-positive delays; fail at plan
+            # construction instead of mid-simulation.
+            raise ValueError(f"delay_cycles must be positive for delay "
+                             f"faults, got {self.delay_cycles}")
         if not 0.0 <= self.rate <= 1.0:
             raise ValueError(f"rate {self.rate} outside [0, 1]")
 

@@ -56,6 +56,14 @@ class SM:
             raise ValueError(f"unknown scheduler {scheduler!r}")
         self.scheduler = scheduler
 
+        # Active-set scheduling hook: the system's active scheduler installs
+        # a callback here and every external wake path (fill, timed dep
+        # release, offload ACK, recovery fallback) reports through it BEFORE
+        # mutating warp state, so lazily-deferred idle accounting is settled
+        # against the still-frozen pre-wake state (invariant I1 in
+        # docs/performance.md).  ``None`` under the legacy scheduler.
+        self.waker = None
+
         self.pending_traces: deque = deque()
         self.warps: list[Warp] = []
         self._next_wid = 0
@@ -104,6 +112,8 @@ class SM:
     # -- wake/block plumbing --------------------------------------------------
 
     def wake_warp(self, warp: Warp) -> None:
+        if self.waker is not None:
+            self.waker(self)
         if warp.state is WarpState.DEP:
             self.dep_count -= 1
         warp.state = WarpState.READY
@@ -191,6 +201,14 @@ class SM:
     def can_issue_now(self) -> bool:
         return bool(self.ready) or (
             bool(self.pending_traces) and len(self.warps) < self.warps_per_sm)
+
+    def next_wake(self) -> int | None:
+        """Earliest cycle this SM can make progress on its own: ``now + 1``
+        while it holds issuable (or structurally-rejected, hence retrying)
+        work, else ``None`` -- only an external event (fill, ACK, timed
+        dependency release, recovery fallback) can change that, and every
+        such path reports through :attr:`waker`."""
+        return self.engine.now + 1 if self.can_issue_now else None
 
     def metrics_snapshot(self) -> dict:
         """Counters/gauges published into the metrics registry."""
@@ -307,6 +325,8 @@ class SM:
         the block-expansion state and re-issue it inline.  The warp may be
         parked in ACK (at OFLD.END) or still mid-emission; either way the
         block restarts from its first instruction."""
+        if self.waker is not None:
+            self.waker(self)
         item = warp.current_item()
         assert isinstance(item, DynBlock) and warp.mode == "offload"
         warp.offload_instance = None
@@ -320,6 +340,8 @@ class SM:
 
     def complete_offload(self, warp: Warp) -> None:
         """ACK arrived: live-out registers are in, the warp resumes."""
+        if self.waker is not None:
+            self.waker(self)
         item = warp.current_item()
         assert isinstance(item, DynBlock) and warp.state is WarpState.ACK
         now = self.engine.now

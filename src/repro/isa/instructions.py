@@ -10,7 +10,7 @@ register.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 class Opcode(enum.Enum):
@@ -78,6 +78,12 @@ class Instr:
     latency_class: str = "alu"
     tag: str = ""
 
+    #: Set in ``__post_init__``: instructions are immutable, and the SM
+    #: issue path reads these every attempt, so they are plain attributes
+    #: rather than recomputed properties.
+    is_mem: bool = field(init=False, compare=False, repr=False)
+    reads: tuple[int, ...] = field(init=False, compare=False, repr=False)
+
     def __post_init__(self) -> None:
         if self.op in MEMORY_OPS and self.array is None:
             raise ValueError(f"{self.op} requires an array symbol")
@@ -85,17 +91,12 @@ class Instr:
             raise ValueError("LD requires a destination register")
         if self.op is Opcode.ST and self.dst is not None:
             raise ValueError("ST must not write a register")
-
-    @property
-    def is_mem(self) -> bool:
-        return self.op in MEMORY_OPS
-
-    @property
-    def reads(self) -> tuple[int, ...]:
-        """All register IDs read, including the address register."""
+        object.__setattr__(self, "is_mem", self.op in MEMORY_OPS)
+        # ``reads`` is every register ID read, including the address reg.
+        reads = self.srcs
         if self.addr_src is not None and self.addr_src not in self.srcs:
-            return self.srcs + (self.addr_src,)
-        return self.srcs
+            reads = self.srcs + (self.addr_src,)
+        object.__setattr__(self, "reads", reads)
 
     def __str__(self) -> str:  # pragma: no cover - debug aid
         dst = f"R{self.dst}" if self.dst is not None else "-"

@@ -35,11 +35,15 @@ class FacadeDriftRule(Rule):
     #: deliberately never reach a simulation.
     PRESENTATION_ONLY = frozenset({
         "command", "stats", "output", "number", "action", "format",
+        # bench: exit-code threshold on the printed comparison only.
+        "min_speedup",
     })
     #: Facade parameters with no CLI spelling by design: they only make
     #: sense with live Python objects in hand.
     PROGRAMMATIC_ONLY = frozenset({
         "base", "request", "runner", "verbose", "rate", "seed",
+        # bench: a per-cell progress callback (the CLI passes print).
+        "progress",
     })
 
     def check_project(self, project: Project,

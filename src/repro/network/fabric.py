@@ -60,6 +60,12 @@ class MemoryNetwork:
         ``deliver`` fires at the destination's logic layer.  Local traffic
         (src == dst) skips the network entirely.  ``lost`` fires instead of
         ``deliver`` if an armed fault plan kills the packet in flight.
+
+        Every delivery — including the local src == dst shortcut — runs
+        as an engine event, never inline in the caller's frame.  The
+        active-set scheduler relies on this: no packet may wake an SM
+        synchronously from inside another component's tick
+        (invariant I3, docs/performance.md).
         """
         if self.faults is not None:
             deliver = self.faults.packet("mem_net", deliver, lost)

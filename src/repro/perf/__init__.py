@@ -1,0 +1,12 @@
+"""Simulator performance harness: pinned benchmark grid + baselines.
+
+See :mod:`repro.perf.bench` and docs/performance.md.
+"""
+
+from repro.perf.bench import (QUICK, SUITES, BenchCell, compare,
+                              format_cell, format_compare, git_rev,
+                              load_report, run_bench, write_report)
+
+__all__ = ["QUICK", "SUITES", "BenchCell", "compare", "format_cell",
+           "format_compare", "git_rev", "load_report", "run_bench",
+           "write_report"]

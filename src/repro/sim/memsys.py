@@ -260,6 +260,10 @@ class GPUMemSystem:
             self._l2_access(sm_id, wline)
 
     def _fill_l1(self, sm_id: int, line: int) -> None:
+        # Fills always run as engine events, and the resulting warp
+        # wake-ups funnel through SM.wake_warp — the active scheduler's
+        # waker hook (invariants I1/I3, docs/performance.md).  Never call
+        # this synchronously from another SM's tick.
         self.l1[sm_id].insert(line)
         self.l1_mshr[sm_id].fill(line)
 

@@ -7,6 +7,7 @@ Lets the benchmark harness, CLI and notebooks archive simulation outputs
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 
 from repro.sim.results import RunResult, StallBreakdown, TrafficBytes
@@ -17,6 +18,14 @@ def result_to_dict(r: RunResult) -> dict:
     # ``extra`` may hold tuples (epoch log); normalize to lists for JSON.
     d["extra"] = json.loads(json.dumps(d["extra"], default=list))
     return d
+
+
+def result_digest(r: RunResult) -> str:
+    """Canonical sha256 over the serialized result -- the identity used by
+    the pinned digest tests and the bench harness's apples-to-apples check
+    (two runs are "the same simulation" iff their digests match)."""
+    payload = json.dumps(result_to_dict(r), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
 
 
 def result_from_dict(d: dict) -> RunResult:

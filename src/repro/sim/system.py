@@ -35,10 +35,24 @@ class System:
     """
 
     def __init__(self, cfg: SystemConfig, *, config_name: str = "",
-                 metrics=None, faults=None) -> None:
+                 metrics=None, faults=None, sched: str = "active") -> None:
+        if sched not in ("legacy", "active"):
+            raise ValueError(f"unknown scheduler {sched!r}; "
+                             "choose 'legacy' or 'active'")
         self.cfg = cfg
         self.config_name = config_name or cfg.ndp.mode
         self.metrics = metrics
+        # Main-loop scheduling strategy.  "active" ticks only SMs that can
+        # make progress (per-component sleep, lazily settled idle
+        # accounting); "legacy" ticks every SM every stepped cycle.  Both
+        # produce bit-identical results -- the switch is a run-time knob,
+        # deliberately NOT part of SystemConfig, so store keys and result
+        # digests are scheduler-independent.
+        self.sched = sched
+        self.sched_stats: dict = {}
+        self._wq = None              # WakeQueue while _run_active is live
+        self._deferred_integral = 0  # active-warp-cycles owed by sleepers
+        self._sm_wakes = 0
         self.engine = Engine()
         self.counters = LinkCounters()
         self.amap = AddressMap(cfg)
@@ -132,6 +146,19 @@ class System:
     # -- main loop -------------------------------------------------------------------
 
     def run(self, max_cycles: int = 20_000_000) -> RunResult:
+        """Simulate to completion and collect the result.
+
+        Dispatches on ``self.sched``.  Both schedulers walk the exact same
+        sequence of stepped and fast-forwarded cycles and produce
+        bit-identical :class:`RunResult`\\ s (pinned by the cross-scheduler
+        digest tests); ``active`` merely avoids calling ``tick()`` on
+        components that provably cannot make progress.
+        """
+        if self.sched == "active":
+            return self._run_active(max_cycles)
+        return self._run_legacy(max_cycles)
+
+    def _run_legacy(self, max_cycles: int) -> RunResult:
         engine = self.engine
         sms = self.sms
         nsus = self.nsus
@@ -233,6 +260,231 @@ class System:
                     self.phases.fast_forwarded += skip
             engine.now += 1
 
+        self.sched_stats = {"sm_ticks": self.phases.stepped * len(sms),
+                            "sm_wakes": 0}
+        return self._collect()
+
+    # -- active-set scheduling (see docs/performance.md) ---------------------
+
+    def _wake_sm(self, sm) -> None:
+        """Activate a parked SM, settling its deferred idle accounting first.
+
+        Called (via ``sm.waker``) at the TOP of every external wake path,
+        before the wake mutates warp state: the slept cycles
+        ``[since, now - 1]`` are classified against the frozen pre-wake
+        state, exactly as the legacy loop would have classified them one
+        cycle at a time.  A wake of an already-active SM is a no-op.
+        """
+        since = self._wq.wake(sm.sm_id)
+        if since is None:
+            return
+        self._sm_wakes += 1
+        owed = self.engine.now - since
+        if owed > 0:
+            sm.classify_idle_bulk(owed)
+            self._deferred_integral += owed * sm.live_warps
+
+    def _settle_asleep(self, now: int) -> None:
+        """Settle every parked SM's idle accounting through ``now``
+        *inclusive*, in place (the SMs stay parked).
+
+        Run at every point that observes cross-SM aggregate state --
+        Algorithm-1 epoch boundaries (``active_integral`` feeds the IPC
+        normalization), heartbeats (stall counters are sampled), and both
+        timeout raises (post-mortem state must match legacy) -- so those
+        observers see exactly what the legacy loop would have accumulated.
+        """
+        wq = self._wq
+        sms = self.sms
+        for idx, since in wq.asleep_items():
+            owed = now - since + 1
+            if owed > 0:
+                sm = sms[idx]
+                sm.classify_idle_bulk(owed)
+                self._deferred_integral += owed * sm.live_warps
+                wq.set_since(idx, now + 1)
+
+    def _run_active(self, max_cycles: int) -> RunResult:
+        """Active-set main loop: tick only components that can progress.
+
+        Equivalence with :meth:`_run_legacy` by construction:
+
+        * The stepped/fast-forwarded cycle sets are identical -- the
+          fast-forward predicate ``not wq.active`` equals legacy's
+          ``not any(sm.can_issue_now)`` because active membership tracks
+          ``can_issue_now`` exactly (parked on False after a tick, woken
+          by the same external events that make it True).
+        * A parked SM's would-be ticks are pure no-ops except for stall
+          classification, and its classification inputs (``ready``,
+          ``dep_count``, ``warps``, ``pending_traces``, ``live_warps``)
+          are frozen while parked -- so deferring the accounting to wake
+          or settle time is exact, not approximate.
+        * NSUs never park: the temporal-SIMT ``_busy_subcycles`` countdown
+          depends on the global stepped-cycle set, so quiescent NSU ticks
+          are elided *eagerly* via :meth:`NSU.account_idle`, which is
+          arithmetically identical to the elided ticks.
+        """
+        engine = self.engine
+        sms = self.sms
+        nsus = self.nsus
+        epoch = self.cfg.ndp.epoch_cycles
+        dyn = isinstance(self.decider, DynamicDecider)
+        next_epoch = engine.now + epoch if dyn else None
+        prev_block_instrs = 0
+        active_integral = 0
+        prev_active_integral = 0
+        metrics = self.metrics
+        next_heartbeat = (engine.now + metrics.heartbeat_cycles
+                          if metrics is not None else None)
+        ndp = self.ndp
+        rec = ndp is not None and ndp.recovery is not None
+        memsys = self.memsys
+        mem_rec = memsys.recovery is not None
+        phases = self.phases
+        process_due = engine.process_due
+        finished = self._finished
+        settle = self._settle_asleep
+
+        from repro.sim.engine import WakeQueue
+        wq = WakeQueue(len(sms))
+        self._wq = wq
+        self._deferred_integral = 0
+        self._sm_wakes = 0
+        wake_sm = self._wake_sm
+        for sm in sms:
+            sm.waker = wake_sm
+        # Every NSU shares one clock ratio, every accumulator sees the same
+        # step/step_many sequence, so their fractional states are always
+        # equal: one accumulator decides how many NSU cycles elapse for all
+        # of them (the legacy loop advances each separately -- same result).
+        acc = self._nsu_accs[0] if nsus else None
+        # The hot loop mirrors ``engine.now`` in a local and reads WakeQueue
+        # internals directly: both are per-cycle costs on the path this
+        # whole subsystem exists to shrink.
+        now = engine.now
+        act = wq._active       # mutated in place by park/wake; identity stable
+        timed = wq._timed
+        sm_ticks = 0
+        stepped = 0
+        fast_forwarded = 0
+
+        try:
+            while True:
+                process_due()
+                if rec:
+                    ndp.poll_watchdogs(now)
+                if mem_rec:
+                    memsys.poll_watchdogs(now)
+                if timed:
+                    for idx in wq.pop_due(now):
+                        wake_sm(sms[idx])
+
+                n_act = len(act)
+                if n_act:
+                    live = 0
+                    since = now + 1
+                    parks = None
+                    for idx in act:
+                        sm = sms[idx]
+                        sm.tick()
+                        live += len(sm.warps)
+                        if not (sm.ready or (sm.pending_traces
+                                             and len(sm.warps)
+                                             < sm.warps_per_sm)):
+                            if parks is None:
+                                parks = [idx]
+                            else:
+                                parks.append(idx)
+                    if len(act) != n_act:   # pragma: no cover - see I3
+                        raise RuntimeError(
+                            "synchronous cross-SM wake during the tick "
+                            "phase; route it through an engine event")
+                    if parks is not None:
+                        for idx in parks:
+                            wq.park(idx, since)
+                    active_integral += live
+                    sm_ticks += n_act
+                stepped += 1
+                if acc is not None:
+                    k = acc.step()
+                    if k:
+                        for nsu in nsus:
+                            if nsu._busy_subcycles == 0 and not nsu.ready:
+                                nsu.account_idle(k)
+                            else:
+                                for _ in range(k):
+                                    nsu.tick()
+
+                if dyn and now >= next_epoch:
+                    settle(now)
+                    active_integral += self._deferred_integral
+                    self._deferred_integral = 0
+                    total = sum(sm.block_instrs_retired for sm in sms)
+                    d_active = max(1, active_integral - prev_active_integral)
+                    ipc = (total - prev_block_instrs) / d_active
+                    prev_block_instrs = total
+                    prev_active_integral = active_integral
+                    self.decider.end_epoch(ipc)
+                    self._epoch_log.append((now, self.decider.ratio))
+                    phases.epochs += 1
+                    next_epoch = now + epoch
+
+                if next_heartbeat is not None and now >= next_heartbeat:
+                    settle(now)
+                    self._publish_heartbeat()
+                    next_heartbeat = now + metrics.heartbeat_cycles
+
+                if finished():
+                    settle(now)
+                    break
+                if now >= max_cycles:
+                    settle(now)
+                    raise SimulationTimeout(
+                        f"{self.workload_name}/{self.config_name}: exceeded "
+                        f"{max_cycles} cycles; "
+                        f"{sum(sm.live_warps for sm in sms)} warps live")
+
+                # Generalized fast-forward: with every SM parked and no NSU
+                # holding issuable work, jump to the next external stimulus.
+                if not act and not any(n.has_ready for n in nsus):
+                    nt = engine.next_event_time()
+                    if rec:
+                        wd = ndp.next_watchdog_deadline()
+                        if wd is not None and (nt is None or wd < nt):
+                            nt = wd
+                    if mem_rec:
+                        wd = memsys.next_watchdog_deadline()
+                        if wd is not None and (nt is None or wd < nt):
+                            nt = wd
+                    wt = wq.next_time()
+                    if wt is not None and (nt is None or wt < nt):
+                        nt = wt
+                    if nt is None:
+                        settle(now)
+                        raise SimulationTimeout(
+                            f"{self.workload_name}/{self.config_name}: "
+                            f"deadlock at cycle {now}; "
+                            f"{sum(sm.live_warps for sm in sms)} warps live")
+                    if nt > now + 1:
+                        skip = nt - now - 1
+                        if acc is not None:
+                            idle_cycles = acc.step_many(skip)
+                            if idle_cycles:
+                                for nsu in nsus:
+                                    nsu.account_idle(idle_cycles)
+                        now = nt - 1
+                        fast_forwarded += skip
+                now += 1
+                engine.now = now
+        finally:
+            for sm in sms:
+                sm.waker = None
+            self._wq = None
+            phases.stepped += stepped
+            phases.fast_forwarded += fast_forwarded
+            self.sched_stats = {"sm_ticks": sm_ticks,
+                                "sm_wakes": self._sm_wakes}
+
         return self._collect()
 
     # -- metrics publishing --------------------------------------------------
@@ -321,6 +573,7 @@ class System:
         m.record("summary", cycle=self.engine.now, stalls=stalls,
                  packets=packets, traffic=res.traffic.as_dict(),
                  phases=self.phases.as_dict(),
+                 sched={"mode": self.sched, **self.sched_stats},
                  dram={"activations": res.dram_activations,
                        "reads": res.dram_reads, "writes": res.dram_writes},
                  hmc=[h.metrics_snapshot() for h in self.hmcs],

@@ -169,6 +169,48 @@ class TestUnarmedDigests:
         result = system.run(max_cycles=20_000_000)
         assert _digest(result) == self.EXPECTED[(workload, config)]
 
+    @pytest.mark.parametrize("workload,config", sorted(EXPECTED))
+    def test_legacy_scheduler_digest_unchanged(self, workload, config):
+        # The pinned digests bind BOTH main-loop schedulers: the active
+        # scheduler (the default above) and the tick-everything legacy
+        # loop must replay the exact same simulation.
+        system = build_system(workload, config, base=ci_config(),
+                              scale="ci", sched="legacy")
+        result = system.run(max_cycles=20_000_000)
+        assert _digest(result) == self.EXPECTED[(workload, config)]
+
+    @pytest.mark.parametrize("workload,config",
+                             [("BFS", "NDP(Dyn)"),
+                              ("KMN", "NDP(Dyn)_Cache")])
+    def test_schedulers_agree_beyond_the_digest(self, workload, config):
+        # The digest covers RunResult; the stall breakdown and phase
+        # accounting also feed figures and the metrics stream, so pin
+        # them cross-scheduler too (BFS stresses dependency stalls, KMN
+        # with the cache filter stresses the offload/suppress path).
+        runs = {}
+        for sched in ("legacy", "active"):
+            system = build_system(workload, config, base=ci_config(),
+                                  scale="ci", sched=sched)
+            result = system.run(max_cycles=20_000_000)
+            runs[sched] = (result, system.phases)
+        legacy, active = runs["legacy"], runs["active"]
+        assert _digest(legacy[0]) == _digest(active[0])
+        assert legacy[0].stalls.as_dict() == active[0].stalls.as_dict()
+        for field in ("stepped", "fast_forwarded", "epochs", "events"):
+            assert getattr(legacy[1], field) == getattr(active[1], field), \
+                f"phase counter {field} diverged between schedulers"
+
+    def test_active_scheduler_elides_ticks(self):
+        # The point of the active scheduler: strictly fewer SM ticks than
+        # the dense stepped * num_sms product, with the gap settled into
+        # the same idle classifications (digest equality above).
+        system = build_system("VADD", "Baseline", base=ci_config(),
+                              scale="ci")
+        system.run(max_cycles=20_000_000)
+        dense = system.phases.stepped * system.cfg.gpu.num_sms
+        assert 0 < system.sched_stats["sm_ticks"] < dense
+        assert system.sched_stats["sm_wakes"] > 0
+
     @pytest.mark.parametrize("hashseed", ["0", "1"])
     def test_bfs_digest_stable_across_hash_seeds(self, hashseed):
         # The pre-fix bug: hash(self.name) in the RNG seed tuple made BFS

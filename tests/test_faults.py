@@ -47,6 +47,14 @@ class TestPlanValidation:
         with pytest.raises(ValueError):
             FaultSpec(site="credit", kind="delay")
 
+    def test_delay_cycles_must_be_positive(self):
+        # Engine.after() rejects non-positive delays; the plan must fail
+        # at construction, not mid-simulation.
+        with pytest.raises(ValueError, match="delay_cycles"):
+            FaultSpec(site="mem_net", kind="delay", delay_cycles=0)
+        with pytest.raises(ValueError, match="delay_cycles"):
+            FaultSpec(site="mem_net", kind="delay", delay_cycles=-5)
+
     def test_fingerprint_covers_specs(self):
         a = FaultPlan(name="p", seed=1,
                       specs=(FaultSpec(site="mem_net", rate=0.1),))
