@@ -51,6 +51,7 @@ __all__ = [
     "api",
     "chaos",
     "ci_config",
+    "explore",
     "make_runner",
     "paper_config",
     "run",
@@ -58,7 +59,8 @@ __all__ = [
     "__version__",
 ]
 
-_API_NAMES = ("RunRequest", "run", "sweep", "chaos", "make_runner")
+_API_NAMES = ("RunRequest", "run", "sweep", "chaos", "make_runner",
+              "explore")
 
 
 def __getattr__(name):

@@ -240,6 +240,67 @@ class ExperimentRunner:
         for w, c in todo:
             self.result(w, c)
 
+    def eval_cells(self, cells) -> dict:
+        """Evaluate heterogeneous cells -- ``(workload, config_name,
+        base_config)`` triples, each with its *own* base -- and return
+        ``{store_key: RunResult | None}`` (None marks a fatal cell that
+        deadlocked).
+
+        This is the exploration driver's evaluation path
+        (:mod:`repro.explore.driver`): unlike :meth:`result`/:meth:`prefetch`
+        the per-cell base varies, so cells are identified by their full
+        content-addressed store key rather than ``(workload, config)``.
+        Keys are the *plain* :func:`~repro.sim.store.cell_key` -- no
+        explore-specific salt -- so candidates dedupe against every sweep
+        and figure cell ever stored (see the key-reuse note in
+        ``sim/store.py``).  Misses ride the same hardened pool as
+        :meth:`prefetch`; a cell that times out in the serial fallback is
+        recorded as None instead of aborting the batch.
+        """
+        from repro.sim.system import SimulationTimeout
+
+        out: dict[str, RunResult | None] = {}
+        by_key: dict[str, tuple] = {}
+        todo: list[tuple] = []
+        for workload, config, base in cells:
+            key = cell_key(workload, config, base, self.scale,
+                           self.max_cycles)
+            if key in out or key in by_key:
+                continue
+            stored = self.store.get(key) if self.store is not None else None
+            if stored is not None:
+                self.stats.store_hits += 1
+                out[key] = stored
+            else:
+                by_key[key] = (workload, config, base)
+                todo.append((workload, config, key))
+
+        def make_arg(item):
+            workload, config, base = by_key[item[2]]
+            return (workload, config, base, self.scale, self.max_cycles,
+                    self.audit, self.sched)
+
+        def record(item, res):
+            self.stats.sim_runs += 1
+            out[item[2]] = res
+            if self.store is not None and not self._audit_failures(res):
+                self.store.put(item[2], res,
+                               meta={"scale": str(self.scale),
+                                     "max_cycles": self.max_cycles})
+
+        if self.parallel > 1 and len(todo) > 1:
+            todo = self._parallel_map(todo, make_arg, self._worker,
+                                      record, what="explore")
+        for item in todo:
+            try:
+                res = _run_cell(make_arg(item))
+            except SimulationTimeout:
+                self.stats.sim_runs += 1
+                out[item[2]] = None
+                continue
+            record(item, res)
+        return out
+
     # -- hardened parallel fan-out (shared by prefetch and chaos) ------------
 
     def _parallel_map(self, keys: list, make_arg, worker, on_result,

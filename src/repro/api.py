@@ -15,6 +15,9 @@ Everything the CLI can do is reachable from Python through four calls:
   figure/report-style grid consumers.
 * :func:`bench` -- the pinned simulator-performance grid
   (:mod:`repro.perf`), with baseline files and ``--compare`` support.
+* :func:`explore` -- design-space exploration (:mod:`repro.explore`):
+  a search agent over :class:`SystemConfig` knobs, evaluated through
+  the store-backed parallel pool.  See ``docs/design-space.md``.
 
 The low-level primitives (:func:`repro.sim.runner.build_system`,
 :func:`repro.sim.runner.run_workload`) remain supported for users who
@@ -40,8 +43,8 @@ from repro.sim.validate import audit_system
 
 __all__ = ["BenchOutcome", "ChaosCell", "ChaosReport", "RunOutcome",
            "RunRequest", "SweepOutcome", "base_config", "bench", "chaos",
-           "fault_plan", "lint", "make_runner", "resolve_store", "run",
-           "sweep"]
+           "explore", "fault_plan", "lint", "make_runner", "resolve_store",
+           "run", "sweep"]
 
 
 # -- shared resolution helpers (subsume the old private cli plumbing) --------
@@ -430,23 +433,60 @@ class BenchOutcome:
 def bench(*, sched: str = "active", suites=("sparse",), quick: bool = False,
           repeats: int = 2, max_cycles: int = 20_000_000,
           out: str | None = None, compare: str | None = None,
-          progress=None) -> BenchOutcome:
+          explore_best: str | None = None, progress=None) -> BenchOutcome:
     """Run the pinned simulator benchmark grid (:mod:`repro.perf.bench`).
 
     Times the *simulator*, not the simulated machine: every cell builds
     and runs fresh (the result store is never consulted).  ``out`` is a
     directory to write ``BENCH_<rev>.json`` into (None skips the write);
     ``compare`` is a previously written report to compute per-cell and
-    geomean speedups against.  See docs/performance.md.
+    geomean speedups against.  ``explore_best`` is a ``best_configs.json``
+    from :func:`explore`: its rank-1 configuration is timed as one extra
+    labelled cell.  See docs/performance.md.
     """
     from repro.perf import bench as perf
     report = perf.run_bench(sched=sched, suites=suites, quick=quick,
                             repeats=repeats, max_cycles=max_cycles,
-                            progress=progress)
+                            explore_best=explore_best, progress=progress)
     path = perf.write_report(report, out) if out is not None else None
     comparison = (perf.compare(report, perf.load_report(compare))
                   if compare else None)
     return BenchOutcome(report=report, path=path, comparison=comparison)
+
+
+# -- design-space exploration -------------------------------------------------
+
+def explore(*, workload: str = "VADD", space=None, agent: str = "hillclimb",
+            generations: int = 5, population: int = 8, seed: int = 0,
+            fitness: str = "cycles", top_k: int = 5,
+            out: str = "explore-out", resume: str | None = None,
+            base: SystemConfig | None = None, scale: str = "bench",
+            store: ResultStore | str | None = None, use_store: bool = True,
+            parallel: int = 1, max_cycles: int = 20_000_000,
+            sched: str = "active", metrics=None, progress=None):
+    """Search the NDP design space and return an
+    :class:`~repro.explore.driver.ExploreOutcome`.
+
+    ``space`` is a :class:`~repro.explore.space.SearchSpace`, a registry
+    name (``"default"``, ``"tiny"``), or None for the default; ``agent``
+    is ``random`` / ``hillclimb`` / ``genetic``; ``fitness`` is
+    ``cycles`` / ``energy`` / ``edp``.  Candidates are evaluated through
+    the hardened parallel pool under plain store keys, so re-visited
+    configurations -- across runs, agents, or prior sweeps -- are served
+    from the store.  ``out`` receives ``trajectory.jsonl`` and
+    ``best_configs.json`` (None skips both); ``resume`` replays a prior
+    (possibly truncated) trajectory and continues it bit-identically.
+    Fixed ``seed`` implies an identical candidate sequence and identical
+    artifacts across runs.  See ``docs/design-space.md``.
+    """
+    from repro.explore.driver import explore as run_explore
+    return run_explore(
+        workload=workload, space=space, agent=agent,
+        generations=generations, population=population, seed=seed,
+        fitness=fitness, top_k=top_k, out=out, resume=resume, base=base,
+        scale=scale, store=store, use_store=use_store, parallel=parallel,
+        max_cycles=max_cycles, sched=sched, metrics=metrics,
+        progress=progress)
 
 
 # -- static analysis ----------------------------------------------------------

@@ -14,7 +14,11 @@ Commands
 * ``chaos``                             -- fault-rate degradation sweep
 * ``lint [PATHS...]``                   -- static determinism/protocol analyzer
 * ``bench``                             -- simulator wall-clock benchmark
-  (pinned grid, ``BENCH_<rev>.json`` baselines, ``--compare``)
+  (pinned grid, ``BENCH_<rev>.json`` baselines, ``--compare``,
+  ``--explore-best``)
+* ``explore WORKLOAD``                  -- design-space search over
+  SystemConfig knobs (seeded agents, JSONL trajectories, ``--resume``;
+  see docs/design-space.md)
 
 Common flags: ``--scale ci|bench|paper``, ``--workloads A,B,...``,
 ``--store DIR`` / ``--no-store`` (persistent result cache, default from
@@ -373,6 +377,7 @@ def cmd_bench(args) -> int:
         out = api.bench(sched=args.sched, suites=suites, quick=args.quick,
                         repeats=args.repeats, max_cycles=args.max_cycles,
                         out=args.out, compare=args.compare,
+                        explore_best=args.explore_best,
                         progress=print)
     except (KeyError, ValueError, OSError) as e:
         print(str(e.args[0]) if e.args else str(e), file=sys.stderr)
@@ -388,6 +393,57 @@ def cmd_bench(args) -> int:
                   f"is below the required x{args.min_speedup:.2f}",
                   file=sys.stderr)
             return 1
+    return 0
+
+
+def cmd_explore(args) -> int:
+    """Search the NDP design space (docs/design-space.md)."""
+    from repro.explore.report import format_best, format_generations
+
+    registry = None
+    if args.metrics:
+        from repro.sim.metrics import MetricsRegistry
+
+        try:
+            open(args.metrics, "w").close()
+        except OSError as e:
+            print(f"cannot write metrics to {args.metrics}: {e}",
+                  file=sys.stderr)
+            return 2
+        registry = MetricsRegistry()
+    try:
+        out = api.explore(
+            workload=args.workload, space=args.space, agent=args.agent,
+            generations=args.generations, population=args.population,
+            seed=args.seed, fitness=args.fitness, top_k=args.top_k,
+            out=args.out, resume=args.resume, base=_base_config(args),
+            scale=args.scale, store=args.store,
+            use_store=not args.no_store, parallel=args.parallel or 1,
+            max_cycles=args.max_cycles, sched=args.sched,
+            metrics=registry, progress=print)
+    except (KeyError, ValueError, OSError) as e:
+        print(str(e.args[0]) if e.args else str(e), file=sys.stderr)
+        return 2
+    print()
+    print(format_generations(out))
+    print()
+    print(format_best(out))
+    if out.best_path:
+        print(f"wrote {out.best_path}")
+    if out.trajectory_path:
+        print(f"wrote {out.trajectory_path}")
+    if registry is not None:
+        n = registry.export_jsonl(args.metrics)
+        print(f"wrote {n} metrics records to {args.metrics}")
+    s = out.stats
+    where = f" ({out.store_root})" if out.store_root else ""
+    print(f"[explore] evaluated: {s.evaluated}, "
+          f"store hits: {s.cache_hits} ({s.hit_pct:.0f}%), "
+          f"fresh: {s.fresh}, replayed: {s.replayed}, "
+          f"rejected: {s.rejected}, revisits: {s.revisits}{where}")
+    if out.fatal_points:
+        print(f"note: {len(out.fatal_points)} candidate(s) deadlocked and "
+              "were excluded from best_configs", file=sys.stderr)
     return 0
 
 
@@ -544,7 +600,43 @@ def build_parser() -> argparse.ArgumentParser:
     pb.add_argument("--min-speedup", type=float, metavar="X",
                     help="with --compare: exit 1 if the geomean speedup "
                          "is below X")
+    pb.add_argument("--explore-best", metavar="FILE",
+                    help="best_configs.json from 'repro explore': time its "
+                         "rank-1 configuration as one extra cell")
     pb.set_defaults(fn=cmd_bench)
+
+    px = sub.add_parser("explore")
+    px.add_argument("workload")
+    px.add_argument("--space", default="default",
+                    help="search space: 'default' (8 knobs, 5832 points) "
+                         "or 'tiny' (CI smoke)")
+    px.add_argument("--agent", default="hillclimb",
+                    choices=["random", "hillclimb", "genetic"],
+                    help="search agent (default hillclimb -- the paper's "
+                         "Algorithm 1, generalized)")
+    px.add_argument("--generations", type=int, default=5,
+                    help="propose/evaluate rounds (default 5)")
+    px.add_argument("--population", type=int, default=8,
+                    help="candidates proposed per generation (default 8)")
+    px.add_argument("--seed", type=int, default=0,
+                    help="agent RNG seed; a fixed seed reproduces the "
+                         "exact trajectory and best_configs.json")
+    px.add_argument("--fitness", default="cycles",
+                    choices=["cycles", "energy", "edp"],
+                    help="candidate merit, lower is better (default cycles)")
+    px.add_argument("--top-k", type=int, default=5,
+                    help="entries kept in best_configs.json (default 5)")
+    px.add_argument("--out", default="explore-out", metavar="DIR",
+                    help="directory for trajectory.jsonl and "
+                         "best_configs.json (default explore-out)")
+    px.add_argument("--resume", metavar="TRAJECTORY",
+                    help="replay a prior trajectory.jsonl (truncation "
+                         "tolerated) and continue it bit-identically")
+    px.add_argument("--max-cycles", type=int, default=20_000_000)
+    px.add_argument("--metrics", metavar="OUT.jsonl",
+                    help="export explore.* counters as a JSONL metrics "
+                         "stream")
+    px.set_defaults(fn=cmd_explore)
 
     pre = sub.add_parser("report")
     pre.add_argument("-o", "--output", help="write markdown to a file")

@@ -1,0 +1,29 @@
+"""Design-space exploration: declarative search spaces over
+:class:`~repro.config.SystemConfig` knobs, pluggable search agents, and
+a driver that evaluates candidates through the content-addressed result
+store.  Entry points: :func:`repro.api.explore` / ``repro explore``.
+The full contract lives in ``docs/design-space.md``.
+"""
+
+from repro.explore.agents import (AGENTS, Agent, Evaluation, GeneticAgent,
+                                  HillClimbAgent, History, RandomAgent,
+                                  best_of, make_agent)
+from repro.explore.space import (SPACES, Constraint, Knob, SearchSpace,
+                                 default_space, resolve_space, tiny_space)
+
+__all__ = ["AGENTS", "Agent", "Constraint", "Evaluation", "ExploreOutcome",
+           "ExploreStats", "FITNESS", "GeneticAgent", "HillClimbAgent",
+           "History", "Knob", "RandomAgent", "SPACES", "SearchSpace",
+           "best_of", "default_space", "explore", "make_agent",
+           "resolve_space", "tiny_space"]
+
+_DRIVER_NAMES = {"ExploreOutcome", "ExploreStats", "FITNESS", "explore"}
+
+
+def __getattr__(name: str):
+    # The driver pulls in the runner/store stack; keep space/agent imports
+    # light by loading it lazily.
+    if name in _DRIVER_NAMES:
+        from repro.explore import driver
+        return getattr(driver, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,253 @@
+"""Search agents: pluggable candidate proposers behind one contract.
+
+An agent is anything with ``propose(history) -> [point]`` -- the driver
+(:mod:`repro.explore.driver`) owns evaluation, validity enforcement and
+dedup; the agent only decides *where to look next*.  Three built-ins:
+
+* ``random``    -- uniform rejection-sampled exploration, the ArchGym
+  baseline every other agent must beat.
+* ``hillclimb`` -- the paper's Algorithm 1 (Section 7.2) generalized
+  from one scalar offload ratio to the whole knob vector: batched
+  steepest-ascent over single-knob neighbors, with seeded random
+  restarts at local optima.  ``docs/paper-mapping.md`` spells out
+  exactly where this departs from the paper.
+* ``genetic``   -- tournament selection + uniform knob crossover +
+  per-knob mutation, the classic architecture-DSE workhorse.
+
+Determinism contract: every agent draws only from its own
+``np.random.default_rng((seed, crc32(name)))`` stream, so a fixed seed
+reproduces the exact proposal sequence -- which is what makes
+trajectories replayable and ``--resume`` bit-identical (see
+``docs/design-space.md``).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.explore.space import SearchSpace
+
+__all__ = ["AGENTS", "Agent", "Evaluation", "GeneticAgent", "HillClimbAgent",
+           "History", "RandomAgent", "make_agent"]
+
+
+@dataclass
+class Evaluation:
+    """One scored candidate: the point, what it materialized to, and the
+    fitness the driver computed (``math.inf`` for a fatal cell)."""
+
+    gen: int
+    point: dict
+    key: tuple
+    config_name: str
+    fitness: float
+    cycles: int | None = None
+    energy_nj: float | None = None
+    outcome: str = "ok"              # "ok" | "fatal"
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome == "ok"
+
+
+class History:
+    """Everything evaluated so far, in evaluation order, with O(1)
+    point-key lookup.  Agents receive the same instance every
+    generation; they must treat it as read-only."""
+
+    def __init__(self) -> None:
+        self.evaluations: list[Evaluation] = []
+        self.by_key: dict[tuple, Evaluation] = {}
+
+    def add(self, ev: Evaluation) -> None:
+        self.evaluations.append(ev)
+        self.by_key[ev.key] = ev
+
+    def __len__(self) -> int:
+        return len(self.evaluations)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self.by_key
+
+    def best(self) -> Evaluation | None:
+        """The best (lowest-fitness) non-fatal evaluation; ties break on
+        the point key so the answer is order-independent."""
+        ok = [ev for ev in self.evaluations if ev.ok]
+        if not ok:
+            return None
+        return min(ok, key=lambda ev: (ev.fitness, ev.key))
+
+
+def _name_salt(name: str) -> int:
+    # Content-derived (not hash()): identical across processes and runs.
+    return zlib.crc32(name.encode())
+
+
+class Agent:
+    """Base class: a seeded RNG stream plus the propose() contract.
+
+    ``propose(history)`` returns a list of candidate points -- possibly
+    empty (the driver stops early), possibly invalid or already seen
+    (the driver rejects/dedupes and counts them).  Implementations must
+    draw randomness only from ``self.rng``.
+    """
+
+    name = "agent"
+
+    def __init__(self, space: SearchSpace, *, seed: int = 0,
+                 population: int = 8) -> None:
+        self.space = space
+        self.seed = seed
+        self.population = max(1, int(population))
+        self.rng = np.random.default_rng((seed, _name_salt(self.name)))
+
+    def propose(self, history: History) -> list[dict]:
+        raise NotImplementedError
+
+    # -- shared helpers ------------------------------------------------------
+
+    def _fresh_random(self, history: History, want: int,
+                      taken: dict | None = None) -> list[dict]:
+        """Up to ``want`` valid random points not in history (or in
+        ``taken``, the batch built so far).  Bounded, so an exhausted
+        space yields fewer -- or zero -- points instead of spinning."""
+        taken = dict(taken or {})
+        out: list[dict] = []
+        for _ in range(64 * max(1, want)):
+            if len(out) >= want:
+                break
+            try:
+                p = self.space.random_point(self.rng)
+            except ValueError:
+                break
+            k = self.space.point_key(p)
+            if k in history or k in taken:
+                continue
+            taken[k] = p
+            out.append(p)
+        return out
+
+
+class RandomAgent(Agent):
+    """Uniform exploration: ``population`` fresh valid points per
+    generation."""
+
+    name = "random"
+
+    def propose(self, history: History) -> list[dict]:
+        return self._fresh_random(history, self.population)
+
+
+class HillClimbAgent(Agent):
+    """Algorithm 1, generalized from the offload ratio to every knob.
+
+    The paper climbs one scalar (the offload ratio) in-situ, one
+    adaptive step per epoch, using epoch IPC as the signal.  Offline we
+    can afford a *batch* of probes per round, so each generation
+    proposes every unseen valid single-knob neighbor (value index +/-1)
+    of the best point so far -- steepest-ascent with the move budget
+    capped at ``population``.  When the neighborhood is exhausted (a
+    local optimum), the agent restarts from seeded random points
+    instead of freezing, mirroring the boundary nudge the repro added
+    to ``HillClimbingController``.
+    """
+
+    name = "hillclimb"
+
+    def propose(self, history: History) -> list[dict]:
+        best = history.best()
+        if best is None:
+            # Cold start (or nothing but fatal cells): random probes.
+            return self._fresh_random(history, self.population)
+        taken: dict[tuple, dict] = {}
+        out: list[dict] = []
+        for p in self.space.neighbors(best.point):
+            if len(out) >= self.population:
+                break
+            k = self.space.point_key(p)
+            if k in history or k in taken:
+                continue
+            taken[k] = p
+            out.append(p)
+        if not out:
+            out = self._fresh_random(history, self.population)
+        return out
+
+
+class GeneticAgent(Agent):
+    """Tournament selection + uniform knob crossover + mutation.
+
+    Parents come from the whole evaluated history (elitism for free:
+    good early points stay in the gene pool); children that are invalid
+    or already evaluated are redrawn, bounded, so late generations
+    shrink instead of looping.
+    """
+
+    name = "genetic"
+
+    def __init__(self, space: SearchSpace, *, seed: int = 0,
+                 population: int = 8, tournament: int = 3,
+                 mutation: float = 0.25) -> None:
+        super().__init__(space, seed=seed, population=population)
+        self.tournament = max(2, int(tournament))
+        self.mutation = float(mutation)
+
+    def _select(self, pool: list[Evaluation]) -> Evaluation:
+        picks = [pool[int(i)] for i in
+                 self.rng.integers(len(pool), size=self.tournament)]
+        return min(picks, key=lambda ev: (ev.fitness, ev.key))
+
+    def propose(self, history: History) -> list[dict]:
+        pool = [ev for ev in history.evaluations if ev.ok]
+        if not pool:
+            return self._fresh_random(history, self.population)
+        taken: dict[tuple, dict] = {}
+        out: list[dict] = []
+        for _ in range(64 * self.population):
+            if len(out) >= self.population:
+                break
+            a, b = self._select(pool), self._select(pool)
+            child: dict = {}
+            for knob in self.space.knobs:
+                parent = a if self.rng.random() < 0.5 else b
+                child[knob.name] = parent.point[knob.name]
+                if self.rng.random() < self.mutation:
+                    child[knob.name] = knob.values[
+                        int(self.rng.integers(len(knob.values)))]
+            k = self.space.point_key(child)
+            if k in history or k in taken or not self.space.valid(child):
+                continue
+            taken[k] = child
+            out.append(child)
+        return out
+
+
+#: Agent registry (the CLI's ``--agent`` choices).
+AGENTS: dict[str, type[Agent]] = {
+    RandomAgent.name: RandomAgent,
+    HillClimbAgent.name: HillClimbAgent,
+    GeneticAgent.name: GeneticAgent,
+}
+
+
+def make_agent(name: str, space: SearchSpace, *, seed: int = 0,
+               population: int = 8, **kwargs) -> Agent:
+    """Instantiate a registered agent; raises :class:`KeyError` naming
+    the valid choices for an unknown agent."""
+    try:
+        cls = AGENTS[name]
+    except (KeyError, TypeError):
+        raise KeyError(f"unknown search agent {name!r}; choose from "
+                       f"{sorted(AGENTS)}") from None
+    return cls(space, seed=seed, population=population, **kwargs)
+
+
+def best_of(evaluations, top_k: int = 5) -> list[Evaluation]:
+    """The ``top_k`` best non-fatal evaluations, fitness ascending with
+    point-key tiebreaks (deterministic regardless of evaluation order)."""
+    ok = [ev for ev in evaluations if ev.ok]
+    ok.sort(key=lambda ev: (ev.fitness, ev.key))
+    return ok[:max(1, int(top_k))]

@@ -110,8 +110,14 @@ def git_rev() -> str:
 
 
 def _run_cell(workload: str, config: str, num_sms: int | None, *,
-              sched: str, repeats: int, max_cycles: int) -> BenchCell:
-    base = paper_config()
+              sched: str, repeats: int, max_cycles: int,
+              base=None, label: str | None = None) -> BenchCell:
+    """Time one cell.  ``base`` overrides the paper configuration (the
+    explore-best cell carries its own); ``label`` overrides the recorded
+    config name so extra cells never collide with pinned-grid identities
+    in ``--compare``."""
+    if base is None:
+        base = paper_config()
     if num_sms:
         base = base.scaled_gpu(num_sms=num_sms)
     walls: list[float] = []
@@ -132,7 +138,7 @@ def _run_cell(workload: str, config: str, num_sms: int | None, *,
     total_cycles = result.cycles
     sm_ticks = int(sched_stats.get("sm_ticks", 0))
     return BenchCell(
-        workload=workload, config=config, scale=BENCH_SCALE,
+        workload=workload, config=label or config, scale=BENCH_SCALE,
         num_sms=base.gpu.num_sms, sched=sched,
         wall_s=round(wall, 6), wall_all=[round(w, 6) for w in walls],
         cycles=total_cycles,
@@ -147,11 +153,15 @@ def _run_cell(workload: str, config: str, num_sms: int | None, *,
 
 def run_bench(*, sched: str = "active", suites=("sparse",),
               quick: bool = False, repeats: int = 2,
-              max_cycles: int = 20_000_000, progress=None) -> dict:
+              max_cycles: int = 20_000_000,
+              explore_best: str | None = None, progress=None) -> dict:
     """Run the pinned grid and return a report dict (see ``write_report``).
 
     ``progress`` is an optional callable taking one formatted line per
-    completed cell (the CLI passes ``print``).
+    completed cell (the CLI passes ``print``).  ``explore_best`` names a
+    ``best_configs.json`` written by ``repro explore``: its rank-1
+    configuration is timed as one extra cell, labelled
+    ``explore[<fitness>]:<config>`` so it never aliases a pinned cell.
     """
     if quick:
         cells_spec = QUICK
@@ -170,12 +180,23 @@ def run_bench(*, sched: str = "active", suites=("sparse",),
         cells.append(cell)
         if progress is not None:
             progress(format_cell(cell))
+    if explore_best:
+        from repro.explore.report import best_bench_cell
+        workload, config, base, label = best_bench_cell(explore_best)
+        cell = _run_cell(workload, config, None, sched=sched,
+                         repeats=repeats, max_cycles=max_cycles,
+                         base=base, label=label)
+        cells.append(cell)
+        if progress is not None:
+            progress(format_cell(cell))
     return {
         "kind": "repro-bench",
         "version": REPORT_VERSION,
         "rev": git_rev(),
         "sched": sched,
         "suites": list(suites),
+        "explore_best": os.path.basename(explore_best) if explore_best
+                        else None,
         "repeats": repeats,
         "unix_time": int(time.time()),
         "python": sys.version.split()[0],

@@ -61,6 +61,8 @@ KNOWN_METRICS = frozenset({
     "stall.exec_unit_busy", "stall.dependency", "stall.warp_idle",
     # open vocabularies
     "traffic.*", "packets.*", "faults.*", "recovery.*",
+    # design-space exploration (repro explore) counters
+    "explore.*",
 })
 
 

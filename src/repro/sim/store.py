@@ -20,6 +20,26 @@ Corrupted or stale-schema entries are treated as misses and deleted.
 
 The simulator is deterministic (seeded RNG, integer-time engine), so a
 stored cell is byte-for-byte equivalent to re-simulating it.
+
+Key-reuse audit (who shares keys with whom)
+-------------------------------------------
+
+Three producers write through :func:`cell_key` and must stay coherent:
+
+* sweeps/figures (:class:`~repro.analysis.figures.ExperimentRunner`)
+  use the **plain** key -- no extra salt;
+* chaos grids salt the key with the fault-plan fingerprint
+  (``ExperimentRunner.chaos_store_key``) because a faulted result is a
+  different outcome for the same inputs;
+* design-space exploration (:mod:`repro.explore`) **deliberately reuses
+  the plain key**: a candidate materializes to an ordinary
+  ``(config name, base config)`` cell, so explore runs dedupe against
+  each other, across agents, and against any sweep or figure that ever
+  visited the same configuration.  Anything that would make the same
+  key yield a different result (a new scheduler mode, a new workload
+  parameter) must therefore go *into* the key -- or bump
+  :data:`CODE_VERSION_SALT` -- never be left out "because only explore
+  uses it".
 """
 
 from __future__ import annotations
