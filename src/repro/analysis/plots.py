@@ -61,6 +61,44 @@ def grouped_bar_chart(data: dict[str, dict[str, float]], *,
     return "\n".join(lines)
 
 
+def best_so_far_plot(records: list[dict], *, height: int = 12,
+                     width: int = 64, title: str | None = None) -> str:
+    """ArchGym-style search-progress curve from ``trajectory.jsonl``
+    records (and nothing else): per-evaluation fitness plus the running
+    best-so-far, lower is better.
+
+    ``records`` is the parsed JSONL stream written by ``repro explore``
+    (one ``explore-meta`` record, then ``evaluation`` records; see
+    docs/design-space.md).  Fatal candidates carry ``fitness: null`` and
+    are skipped.  Raises :class:`ValueError` when no plottable
+    evaluation records are present.
+    """
+    meta = next((r for r in records if r.get("kind") == "explore-meta"), {})
+    xs: list[int] = []
+    fitness: list[float] = []
+    for i, rec in enumerate(r for r in records
+                            if r.get("kind") == "evaluation"):
+        if rec.get("fitness") is None:
+            continue
+        xs.append(i + 1)
+        fitness.append(float(rec["fitness"]))
+    if not xs:
+        raise ValueError("no evaluation records with a fitness value in "
+                         "the trajectory; nothing to plot")
+    best: list[float] = []
+    for f in fitness:
+        best.append(f if not best else min(best[-1], f))
+    if title is None:
+        title = (f"best-so-far {meta.get('fitness', 'fitness')} over "
+                 f"{len(xs)} evaluations "
+                 f"({meta.get('agent', '?')} agent, "
+                 f"seed {meta.get('seed', '?')})")
+    chart = line_plot(xs, {"best-so-far": best, "evaluation": fitness},
+                      height=height, width=width, title=title)
+    return (chart + f"\n{' ' * 10}final best "
+            f"{best[-1]:g} (from {fitness[0]:g} at evaluation 1)")
+
+
 def line_plot(xs, ys_by_series: dict[str, list], *, height: int = 12,
               width: int = 64, title: str = "") -> str:
     """Plot one or more series as ASCII scatter lines over shared axes."""

@@ -43,8 +43,8 @@ from repro.sim.validate import audit_system
 
 __all__ = ["BenchOutcome", "ChaosCell", "ChaosReport", "RunOutcome",
            "RunRequest", "SweepOutcome", "base_config", "bench", "chaos",
-           "explore", "fault_plan", "lint", "make_runner", "resolve_store",
-           "run", "sweep"]
+           "explore", "fault_plan", "lint", "loadtest", "make_runner",
+           "resolve_store", "run", "serve", "sweep"]
 
 
 # -- shared resolution helpers (subsume the old private cli plumbing) --------
@@ -69,13 +69,21 @@ def base_config(*, base: SystemConfig | None = None, sms: int | None = None,
 def resolve_store(store: ResultStore | str | None = None, *,
                   use_store: bool = True) -> ResultStore | None:
     """The persistent store: an instance, a path, or ``$REPRO_STORE``
-    (``use_store=False`` disables it entirely, like ``--no-store``)."""
+    (``use_store=False`` disables it entirely, like ``--no-store``).
+    An unusable store directory raises a structured :class:`OSError`
+    naming the path, not a bare traceback from deep inside ``os``."""
     if not use_store:
         return None
     if isinstance(store, ResultStore):
         return store
     path = store or os.environ.get("REPRO_STORE")
-    return ResultStore(path) if path else None
+    if not path:
+        return None
+    try:
+        return ResultStore(path)
+    except OSError as e:
+        raise OSError(f"cannot use result store at {str(path)!r}: "
+                      f"{e}") from None
 
 
 def fault_plan(faults: FaultPlan | str | None, *, rate: float = 0.01,
@@ -171,11 +179,38 @@ class RunOutcome:
         return self.outcome in ("clean", "recovered")
 
 
+def _validate_request(req: RunRequest, cfg: SystemConfig) -> None:
+    """Fail fast with a structured error -- before any simulation state
+    is built -- so callers (CLI, serve daemon) can map the exception type
+    to an exit code / HTTP status: :class:`KeyError` for unknown names,
+    :class:`ValueError` for bad enum-ish values."""
+    from repro.sim.runner import config_variants
+    from repro.workloads import SCALES, workload_names
+
+    if req.workload not in workload_names():
+        raise KeyError(f"unknown workload {req.workload!r}; choose from "
+                       f"{', '.join(workload_names())}")
+    variants = config_variants(cfg)
+    if req.config not in variants:
+        raise KeyError(f"unknown config {req.config!r}; choose from "
+                       f"{', '.join(sorted(variants))}")
+    if req.sched not in ("active", "legacy"):
+        raise ValueError(f"unknown scheduler {req.sched!r}: expected "
+                         "'active' or 'legacy'")
+    if isinstance(req.scale, str) and req.scale not in SCALES:
+        raise ValueError(f"unknown scale {req.scale!r}; choose from "
+                         f"{', '.join(SCALES)}")
+    if req.max_cycles <= 0:
+        raise ValueError(f"max_cycles must be positive, got "
+                         f"{req.max_cycles}")
+
+
 def run(request: RunRequest | None = None, **kwargs) -> RunOutcome:
     """Execute one simulation: ``run(RunRequest(...))`` or
     ``run(workload="VADD", config="NDP(Dyn)", ...)``."""
     req = request if request is not None else RunRequest(**kwargs)
     cfg = req.resolved_config()
+    _validate_request(req, cfg)
     plan = req.resolved_plan()
     store = req.resolved_store()
     key = cell_key(req.workload, req.config, cfg, req.scale, req.max_cycles)
@@ -487,6 +522,63 @@ def explore(*, workload: str = "VADD", space=None, agent: str = "hillclimb",
         scale=scale, store=store, use_store=use_store, parallel=parallel,
         max_cycles=max_cycles, sched=sched, metrics=metrics,
         progress=progress)
+
+
+# -- simulation-as-a-service --------------------------------------------------
+
+def serve(*, host: str = "127.0.0.1", port: int = 0, shards: int = 2,
+          mode: str = "process", job_timeout: float = 900.0,
+          request_timeout: float = 900.0, queue_depth: int = 256,
+          rate: float = 0.0, burst: float = 16.0, hot_set: int = 64,
+          store: str | None = None, use_store: bool = True,
+          metrics_out: str | None = None, block: bool = True,
+          progress=None):
+    """Start the ``repro serve`` daemon and return the
+    :class:`~repro.serve.daemon.ServeDaemon` (see ``docs/serving.md``).
+
+    ``port=0`` binds an ephemeral port (read ``daemon.port``); ``rate``
+    is the per-client token-bucket refill in requests/second (0 turns
+    limiting off, ``burst`` is the bucket depth); ``hot_set`` bounds the
+    in-memory LRU of recent run responses; ``mode="thread"`` keeps shard
+    workers in-process (tests/CI).  ``store`` defaults to
+    ``$REPRO_STORE`` via the daemon's workers.  ``block=True`` serves in
+    the foreground until interrupted or ``POST /v1/shutdown``;
+    ``block=False`` returns immediately with the daemon running in
+    background threads (call ``daemon.stop()`` yourself).
+    """
+    from repro.serve.daemon import ServeConfig, ServeDaemon
+    resolved = store if store is not None else os.environ.get("REPRO_STORE")
+    daemon = ServeDaemon(ServeConfig(
+        host=host, port=port, shards=shards, mode=mode,
+        job_timeout=job_timeout, request_timeout=request_timeout,
+        queue_depth=queue_depth, rate=rate, burst=burst, hot_set=hot_set,
+        store=resolved, use_store=use_store, metrics_out=metrics_out))
+    daemon.start()
+    if progress is not None:
+        progress(f"serving on {daemon.address} "
+                 f"({shards} {mode} shard(s), "
+                 f"store {resolved or 'disabled'})")
+    if block:
+        daemon.wait()
+    return daemon
+
+
+def loadtest(*, url: str, clients: int = 8, requests: int = 4,
+             duplicates: float = 0.5, seed: int = 0,
+             workload: str = "VADD", config: str = "Baseline",
+             scale: str = "ci", max_cycles: int = 2_000_000,
+             mix: str = "run", out: str | None = None,
+             progress=None) -> dict:
+    """Hammer a running daemon with the seeded mixed schedule and return
+    the report dict (throughput, latency percentiles, coalesce-hit and
+    rate-limit deltas; ``out`` writes it as JSON).  See
+    ``docs/serving.md`` for the schedule construction and how
+    ``expected_duplicates`` is derived."""
+    from repro.serve.loadtest import run_loadtest
+    return run_loadtest(url=url, clients=clients, requests=requests,
+                        duplicates=duplicates, seed=seed, workload=workload,
+                        config=config, scale=scale, max_cycles=max_cycles,
+                        mix=mix, out=out, progress=progress)
 
 
 # -- static analysis ----------------------------------------------------------

@@ -17,8 +17,13 @@ Commands
   (pinned grid, ``BENCH_<rev>.json`` baselines, ``--compare``,
   ``--explore-best``)
 * ``explore WORKLOAD``                  -- design-space search over
-  SystemConfig knobs (seeded agents, JSONL trajectories, ``--resume``;
-  see docs/design-space.md)
+  SystemConfig knobs (seeded agents, JSONL trajectories, ``--resume``,
+  ``--plot`` best-so-far curves; see docs/design-space.md)
+* ``serve``                             -- simulation-as-a-service HTTP
+  daemon (request coalescing, shard workers, rate limits; see
+  docs/serving.md)
+* ``loadtest``                          -- seeded traffic harness
+  against a running ``serve`` daemon
 
 Common flags: ``--scale ci|bench|paper``, ``--workloads A,B,...``,
 ``--store DIR`` / ``--no-store`` (persistent result cache, default from
@@ -134,7 +139,7 @@ def cmd_run(args) -> int:
             metrics=registry, trace=args.trace, audit=args.audit,
             sched=args.sched, **_config_kwargs(args))
         out = api.run(req)
-    except KeyError as e:
+    except (KeyError, ValueError, OSError) as e:
         print(str(e.args[0]) if e.args else str(e), file=sys.stderr)
         return 2
     plan = req.resolved_plan()
@@ -428,6 +433,16 @@ def cmd_explore(args) -> int:
     print(format_generations(out))
     print()
     print(format_best(out))
+    if args.plot:
+        from repro.analysis.plots import best_so_far_plot
+        from repro.sim.metrics import read_jsonl
+
+        if not out.trajectory_path:
+            print("--plot needs a trajectory: pass --out DIR",
+                  file=sys.stderr)
+            return 2
+        print()
+        print(best_so_far_plot(read_jsonl(out.trajectory_path)))
     if out.best_path:
         print(f"wrote {out.best_path}")
     if out.trajectory_path:
@@ -444,6 +459,57 @@ def cmd_explore(args) -> int:
     if out.fatal_points:
         print(f"note: {len(out.fatal_points)} candidate(s) deadlocked and "
               "were excluded from best_configs", file=sys.stderr)
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the simulation service daemon (docs/serving.md)."""
+    try:
+        api.serve(host=args.host, port=args.port, shards=args.shards,
+                  mode=args.mode, job_timeout=args.job_timeout,
+                  request_timeout=args.request_timeout,
+                  queue_depth=args.queue_depth, rate=args.rate,
+                  burst=args.burst, hot_set=args.hot_set,
+                  store=args.store, use_store=not args.no_store,
+                  metrics_out=args.metrics_out, progress=print)
+    except OSError as e:
+        print(str(e.args[0]) if e.args else str(e), file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_loadtest(args) -> int:
+    """Hammer a running serve daemon and print the traffic report."""
+    try:
+        report = api.loadtest(
+            url=args.url, clients=args.clients, requests=args.requests,
+            duplicates=args.duplicates, seed=args.seed,
+            workload=args.workload, config=args.config, scale=args.scale,
+            max_cycles=args.max_cycles, mix=args.mix, out=args.out,
+            progress=print)
+    except OSError as e:
+        print(f"loadtest failed against {args.url}: "
+              f"{e.args[0] if e.args else e}", file=sys.stderr)
+        return 2
+    lat = report["latency_ms"]
+    print(f"requests : {report['completed']}/{report['total_requests']} ok"
+          + (f", rejected {report['rejected']}" if report["rejected"]
+             else ""))
+    print(f"coalesce : {report['coalesce_hits']} hits "
+          f"(expected duplicates {report['expected_duplicates']})")
+    print(f"cells    : {report['simulated_cells']} simulated across "
+          f"{report['distinct_cells']} distinct run cells")
+    print(f"sources  : " + ", ".join(
+        f"{k}={v}" for k, v in sorted(report["sources"].items())))
+    print(f"latency  : p50 {lat['p50']:.0f} ms, p90 {lat['p90']:.0f} ms, "
+          f"p99 {lat['p99']:.0f} ms (mean {lat['mean']:.0f})")
+    print(f"rate     : {report['throughput_rps']:.1f} req/s over "
+          f"{report['wall_seconds']:.1f} s")
+    if args.out:
+        print(f"wrote {args.out}")
+    if report["completed"] != report["total_requests"] and not args.expect_rejections:
+        print("FAIL: not every request completed", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -636,7 +702,76 @@ def build_parser() -> argparse.ArgumentParser:
     px.add_argument("--metrics", metavar="OUT.jsonl",
                     help="export explore.* counters as a JSONL metrics "
                          "stream")
+    px.add_argument("--plot", action="store_true",
+                    help="render the best-so-far fitness curve from the "
+                         "written trajectory.jsonl")
     px.set_defaults(fn=cmd_explore)
+
+    pv = sub.add_parser("serve")
+    pv.add_argument("--host", default="127.0.0.1",
+                    help="bind address (default 127.0.0.1)")
+    pv.add_argument("--port", type=int, default=8787,
+                    help="bind port; 0 picks an ephemeral one "
+                         "(default 8787)")
+    pv.add_argument("--shards", type=int, default=2,
+                    help="shard workers; jobs route to a shard by store "
+                         "key (default 2)")
+    pv.add_argument("--mode", choices=["process", "thread"],
+                    default="process",
+                    help="worker isolation: 'process' replaces crashed/"
+                         "hung workers; 'thread' stays in-process "
+                         "(tests/CI)")
+    pv.add_argument("--job-timeout", type=float, default=900.0,
+                    help="per-job worker deadline in seconds "
+                         "(default 900)")
+    pv.add_argument("--request-timeout", type=float, default=900.0,
+                    help="per-request wait on the shared job future "
+                         "(default 900)")
+    pv.add_argument("--queue-depth", type=int, default=256,
+                    help="job queue bound; excess requests get a 503 "
+                         "(default 256)")
+    pv.add_argument("--rate", type=float, default=0.0,
+                    help="per-client token-bucket refill, requests/sec "
+                         "(default 0 = unlimited)")
+    pv.add_argument("--burst", type=float, default=16.0,
+                    help="token-bucket depth per client (default 16)")
+    pv.add_argument("--hot-set", type=int, default=64,
+                    help="in-memory LRU of recent run responses; 0 "
+                         "disables (default 64)")
+    pv.add_argument("--metrics-out", metavar="OUT.jsonl",
+                    help="export serve.* counters as a JSONL metrics "
+                         "stream on shutdown")
+    pv.set_defaults(fn=cmd_serve)
+
+    plt = sub.add_parser("loadtest")
+    plt.add_argument("--url", default="http://127.0.0.1:8787",
+                     help="daemon base URL (default http://127.0.0.1:8787)")
+    plt.add_argument("--clients", type=int, default=8,
+                     help="concurrent clients (default 8)")
+    plt.add_argument("--requests", type=int, default=4,
+                     help="requests per client (default 4)")
+    plt.add_argument("--duplicates", type=float, default=0.5,
+                     help="fraction of each client's requests aimed at "
+                          "the shared duplicate cells (default 0.5)")
+    plt.add_argument("--seed", type=int, default=0,
+                     help="schedule seed; also shifts the cell "
+                          "identities (default 0)")
+    plt.add_argument("--workload", default="VADD",
+                     help="run-cell workload (default VADD)")
+    plt.add_argument("--config", default="Baseline",
+                     help="run-cell configuration (default Baseline)")
+    plt.add_argument("--max-cycles", type=int, default=2_000_000,
+                     help="base max_cycles; cells are distinguished by "
+                          "small offsets to it (default 2000000)")
+    plt.add_argument("--mix", default="run",
+                     help="comma-separated job kinds to mix in "
+                          "(run,sweep,chaos,bench,explore; default run)")
+    plt.add_argument("--out", metavar="REPORT.json",
+                     help="write the full traffic report as JSON")
+    plt.add_argument("--expect-rejections", action="store_true",
+                     help="exit 0 even when some requests were rejected "
+                          "(rate-limit probing)")
+    plt.set_defaults(fn=cmd_loadtest)
 
     pre = sub.add_parser("report")
     pre.add_argument("-o", "--output", help="write markdown to a file")

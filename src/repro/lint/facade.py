@@ -37,6 +37,10 @@ class FacadeDriftRule(Rule):
         "command", "stats", "output", "number", "action", "format",
         # bench: exit-code threshold on the printed comparison only.
         "min_speedup",
+        # explore: render the already-written trajectory.jsonl.
+        "plot",
+        # loadtest: exit-code shaping when probing rate limits.
+        "expect_rejections",
     })
     #: Facade parameters with no CLI spelling by design: they only make
     #: sense with live Python objects in hand.
@@ -44,6 +48,9 @@ class FacadeDriftRule(Rule):
         "base", "request", "runner", "verbose", "rate", "seed",
         # bench: a per-cell progress callback (the CLI passes print).
         "progress",
+        # serve: foreground vs. background is a calling-convention choice
+        # (the CLI always serves in the foreground).
+        "block",
     })
 
     def check_project(self, project: Project,

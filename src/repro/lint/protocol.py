@@ -17,7 +17,75 @@ from repro.lint.core import FileContext, Rule
 from repro.lint.project import Project
 
 __all__ = ["PROTOCOL_RULES", "PacketCoverageRule", "MetricNameRule",
-           "FaultSiteRule"]
+           "MetricReceiverNamingRule", "FaultSiteRule"]
+
+#: The enforced receiver-naming convention for MetricsRegistry bindings:
+#: one of these exact names, or a ``*_metrics`` / ``*_registry`` suffix.
+#: PROTO002 resolves emission sites through this convention (plus any
+#: explicit ``MetricsRegistry`` annotations/constructions it can see in
+#: the file); PROTO004 enforces the convention at every binding site, so
+#: a registry can never hide behind a name the metric-name check would
+#: miss.
+METRIC_RECEIVER_NAMES = frozenset({"m", "metrics", "registry"})
+METRIC_RECEIVER_SUFFIXES = ("_metrics", "_registry")
+
+
+def conventional_receiver(name: str) -> bool:
+    return (name in METRIC_RECEIVER_NAMES
+            or name.endswith(METRIC_RECEIVER_SUFFIXES))
+
+
+def _bound_name(node: ast.AST) -> str:
+    """The bare name a binding target answers to at call sites:
+    ``self.run_metrics`` and ``run_metrics`` both resolve to
+    ``run_metrics`` (the receiver-chain tail PROTO002 sees)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+def _is_registry_annotation(ann: ast.AST | None) -> bool:
+    """Does an annotation name MetricsRegistry (bare, dotted, optional,
+    or a string forward reference)?"""
+    if ann is None:
+        return False
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        return "MetricsRegistry" in ann.value
+    if isinstance(ann, ast.Name):
+        return ann.id == "MetricsRegistry"
+    if isinstance(ann, ast.Attribute):
+        return ann.attr == "MetricsRegistry"
+    if isinstance(ann, ast.Subscript):        # Optional[...] etc.
+        return any(_is_registry_annotation(n) for n in ast.walk(ann.slice))
+    if isinstance(ann, ast.BinOp):            # MetricsRegistry | None
+        return (_is_registry_annotation(ann.left)
+                or _is_registry_annotation(ann.right))
+    return False
+
+
+def _is_registry_call(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and _bound_name(node.func) == "MetricsRegistry")
+
+
+def _registry_bindings(tree: ast.AST):
+    """Yield ``(name, node)`` for every binding of a MetricsRegistry in
+    the file: annotated parameters, annotated assignments, and direct
+    ``x = MetricsRegistry(...)`` constructions."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.arg):
+            if _is_registry_annotation(node.annotation):
+                yield node.arg, node
+        elif isinstance(node, ast.AnnAssign):
+            if (_is_registry_annotation(node.annotation)
+                    or (node.value is not None
+                        and _is_registry_call(node.value))):
+                yield _bound_name(node.target), node
+        elif isinstance(node, ast.Assign) and _is_registry_call(node.value):
+            for t in node.targets:
+                yield _bound_name(t), node
 
 
 def _receiver_name(func: ast.Attribute) -> str:
@@ -121,7 +189,19 @@ class PacketCoverageRule(Rule):
 
 class MetricNameRule(Rule):
     """PROTO002: every metric name published into a MetricsRegistry must
-    exist in the ``KNOWN_METRICS`` registry -- no typo'd dotted names."""
+    exist in the ``KNOWN_METRICS`` registry -- no typo'd dotted names.
+
+    Emission sites are resolved through the **enforced naming
+    convention** (:func:`conventional_receiver`: ``m``, ``metrics``,
+    ``registry``, or a ``*_metrics``/``*_registry`` suffix) plus an
+    annotation-aware pass that picks up any name the file explicitly
+    binds to a ``MetricsRegistry`` (annotated parameter, annotated
+    attribute, or direct construction).  PROTO004 guarantees the
+    convention holds at every binding site, so the union is exhaustive:
+    a registry cannot be smuggled past this rule under an arbitrary
+    name.  ``.observe`` also exists on TimeoutTracker (a watchdog site,
+    PROTO003); the receiver gate is what keeps the two rules from
+    crossing."""
 
     id = "PROTO002"
     severity = "error"
@@ -129,16 +209,14 @@ class MetricNameRule(Rule):
     # the registry module defines the vocabulary, it does not emit into it
     exclude = Rule.exclude + ("repro.sim.metrics",)
 
-    #: Receivers that look like a MetricsRegistry.  `.observe` also exists
-    #: on TimeoutTracker (a watchdog site, PROTO003), so the receiver
-    #: gate is what keeps the two rules from crossing.
-    METRIC_RECEIVERS = frozenset({"m", "metrics", "registry"})
     #: Dict-building variables whose keys are metric names.
     METRIC_DICTS = frozenset({"gauges", "counters"})
 
     def check_file(self, ctx: FileContext, project) -> None:
         if project is None or not project.known_metrics:
             return
+        self._annotated = {name for name, _ in _registry_bindings(ctx.tree)
+                           if name}
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Call):
                 self._check_call(ctx, project, node)
@@ -148,6 +226,9 @@ class MetricNameRule(Rule):
             if (isinstance(fn, ast.FunctionDef)
                     and fn.name == "metrics_counters"):
                 self._check_counters_fn(ctx, project, fn)
+
+    def _is_receiver(self, name: str) -> bool:
+        return conventional_receiver(name) or name in self._annotated
 
     def _check_name(self, ctx: FileContext, project, node: ast.AST) -> None:
         if isinstance(node, ast.Constant) and isinstance(node.value, str):
@@ -177,11 +258,11 @@ class MetricNameRule(Rule):
             return
         recv = _receiver_name(func)
         if (func.attr in ("counter", "histogram", "observe")
-                and recv in self.METRIC_RECEIVERS and node.args):
+                and self._is_receiver(recv) and node.args):
             self._check_name(ctx, project, node.args[0])
         elif func.attr == "set_counters" and node.args:
             self._check_dict(ctx, project, node.args[0])
-        elif func.attr == "heartbeat" and recv in self.METRIC_RECEIVERS:
+        elif func.attr == "heartbeat" and self._is_receiver(recv):
             for arg in node.args[1:]:
                 self._check_dict(ctx, project, arg)
 
@@ -204,6 +285,38 @@ class MetricNameRule(Rule):
             elif (isinstance(node, ast.Assign)
                   and isinstance(node.targets[0], ast.Subscript)):
                 self._check_name(ctx, project, node.targets[0].slice)
+
+
+class MetricReceiverNamingRule(Rule):
+    """PROTO004: every binding of a ``MetricsRegistry`` -- annotated
+    parameter, annotated attribute, or ``x = MetricsRegistry(...)`` --
+    must use a conventional receiver name (``m``, ``metrics``,
+    ``registry``, or a ``*_metrics``/``*_registry`` suffix).
+
+    This is what turns PROTO002's receiver gate from a heuristic into a
+    contract: PROTO002 only sees emissions through receivers it can
+    recognize, and this rule makes unrecognizable receivers illegal, so
+    a typo'd metric name can never hide behind a creatively named
+    registry variable."""
+
+    id = "PROTO004"
+    severity = "error"
+    description = ("MetricsRegistry bindings must use a conventional "
+                   "receiver name (m/metrics/registry or *_metrics/"
+                   "*_registry)")
+    # the registry module itself (self.x inside the class is not a
+    # receiver anyone emits through externally)
+    exclude = Rule.exclude + ("repro.sim.metrics",)
+
+    def check_file(self, ctx: FileContext, project) -> None:
+        for name, node in _registry_bindings(ctx.tree):
+            if name and not conventional_receiver(name):
+                ctx.report(
+                    self.id, self.severity, node,
+                    f"MetricsRegistry bound to {name!r}, which the "
+                    "PROTO002 metric-name check cannot recognize; "
+                    "rename it to m/metrics/registry or give it a "
+                    "_metrics/_registry suffix")
 
 
 class FaultSiteRule(Rule):
@@ -257,4 +370,5 @@ class FaultSiteRule(Rule):
                        f"{registry} {declared} (faults/plan.py)")
 
 
-PROTOCOL_RULES = (PacketCoverageRule, MetricNameRule, FaultSiteRule)
+PROTOCOL_RULES = (PacketCoverageRule, MetricNameRule,
+                  MetricReceiverNamingRule, FaultSiteRule)

@@ -1,0 +1,50 @@
+"""Per-client token-bucket rate limiting for the serve daemon.
+
+Classic token bucket: each client accrues ``rate`` tokens per second up
+to ``burst``; every admitted request spends one token.  An empty bucket
+means the request is rejected with a ``retry_after`` hint (seconds until
+one token accrues) -- the daemon turns that into a structured 429.
+
+``rate <= 0`` disables limiting entirely (the default: a private daemon
+trusts its clients).  Time is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    """One bucket per client id, refilled lazily on access."""
+
+    def __init__(self, rate: float, burst: float = 16.0,
+                 clock=time.monotonic) -> None:
+        self.rate = float(rate)
+        self.burst = max(1.0, float(burst))
+        self._clock = clock
+        self._buckets: dict[str, tuple[float, float]] = {}  # tokens, stamp
+        self._lock = threading.Lock()
+        self.rejections = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def allow(self, client: str) -> tuple[bool, float]:
+        """Spend one token for ``client``; returns ``(admitted,
+        retry_after_seconds)`` (retry_after is 0.0 when admitted)."""
+        if not self.enabled:
+            return True, 0.0
+        now = self._clock()
+        with self._lock:
+            tokens, stamp = self._buckets.get(client, (self.burst, now))
+            tokens = min(self.burst, tokens + (now - stamp) * self.rate)
+            if tokens >= 1.0:
+                self._buckets[client] = (tokens - 1.0, now)
+                return True, 0.0
+            self._buckets[client] = (tokens, now)
+            self.rejections += 1
+            return False, (1.0 - tokens) / self.rate

@@ -63,6 +63,8 @@ KNOWN_METRICS = frozenset({
     "traffic.*", "packets.*", "faults.*", "recovery.*",
     # design-space exploration (repro explore) counters
     "explore.*",
+    # simulation-as-a-service daemon (repro serve) counters/latencies
+    "serve.*",
 })
 
 
@@ -120,6 +122,21 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Upper-bound estimate of the ``q``-th percentile (0..100) from
+        the bucket counts: the smallest bound holding at least ``q``% of
+        observations (``max`` for the overflow bucket).  Exact enough for
+        the serve daemon's p50/p99 latency gauges."""
+        if not self.count:
+            return 0.0
+        need = self.count * min(max(q, 0.0), 100.0) / 100.0
+        seen = 0
+        for i, b in enumerate(self.bounds):
+            seen += self.buckets[i]
+            if seen >= need:
+                return float(b)
+        return float(self.max)
 
     def as_dict(self) -> dict:
         return {

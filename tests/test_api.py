@@ -221,3 +221,50 @@ class TestAuditFacade:
                            max_cycles=5_000_000)
         assert report.ref_audit_failures == {
             "VADD/NDP(Dyn)": ["synthetic violation"]}
+
+
+class TestValidation:
+    """``run()`` fails fast with *typed* errors before building any
+    simulation state, so the CLI can map them to exit codes and the
+    serve daemon to 4xx/5xx statuses."""
+
+    def test_unknown_workload_raises_keyerror(self):
+        with pytest.raises(KeyError, match="unknown workload 'NOPE'"):
+            api.run(_request(workload="NOPE"))
+
+    def test_unknown_config_raises_keyerror(self):
+        with pytest.raises(KeyError, match="unknown config"):
+            api.run(_request(config="NDP(Imaginary)"))
+
+    def test_unknown_sched_raises_valueerror(self):
+        with pytest.raises(ValueError, match="unknown scheduler 'bogus'"):
+            api.run(_request(sched="bogus"))
+
+    def test_unknown_scale_raises_valueerror(self):
+        with pytest.raises(ValueError, match="unknown scale 'huge'"):
+            api.run(_request(scale="huge"))
+
+    def test_nonpositive_max_cycles_raises_valueerror(self):
+        with pytest.raises(ValueError, match="max_cycles must be positive"):
+            api.run(_request(max_cycles=0))
+
+    def test_error_message_lists_choices(self):
+        with pytest.raises(KeyError) as exc:
+            api.run(_request(workload="NOPE"))
+        assert "VADD" in str(exc.value)
+
+    def test_unusable_store_dir_raises_structured_oserror(self, tmp_path):
+        # A path nested *under a regular file* cannot be a directory on
+        # any platform (tests run as root, so permission bits are moot).
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        bad = str(blocker / "store")
+        with pytest.raises(OSError, match="cannot use result store at"):
+            api.resolve_store(bad)
+        with pytest.raises(OSError, match=r"cannot use result store at"):
+            api.run(_request(store=bad, use_store=True))
+
+    def test_validation_runs_before_store_side_effects(self, tmp_path):
+        with pytest.raises(KeyError):
+            api.run(_request(tmp_path, workload="NOPE"))
+        assert len(ResultStore(str(tmp_path))) == 0

@@ -199,3 +199,83 @@ class TestLintCommand:
         assert main(["--scale", "ci", "--no-store",
                      "run", "VADD", "Baseline", "--audit"]) == 0
         assert "cycles" in capsys.readouterr().out
+
+
+class TestBestSoFarPlot:
+    def test_renders_curve_title_and_final_best(self):
+        from repro.analysis.plots import best_so_far_plot
+
+        records = [
+            {"kind": "explore-meta", "fitness": "cycles",
+             "agent": "random", "seed": 3},
+            {"kind": "evaluation", "fitness": 900.0},
+            {"kind": "evaluation", "fitness": None},   # fatal: skipped
+            {"kind": "evaluation", "fitness": 700.0},
+            {"kind": "evaluation", "fitness": 800.0},
+        ]
+        text = best_so_far_plot(records)
+        assert "best-so-far" in text and "evaluation" in text
+        assert "random agent" in text and "seed 3" in text
+        assert "final best 700" in text
+        assert "(from 900 at evaluation 1)" in text
+
+    def test_no_plottable_records_raises(self):
+        from repro.analysis.plots import best_so_far_plot
+
+        with pytest.raises(ValueError, match="nothing to plot"):
+            best_so_far_plot([{"kind": "explore-meta"}])
+        with pytest.raises(ValueError, match="nothing to plot"):
+            best_so_far_plot([{"kind": "evaluation", "fitness": None}])
+
+    def test_explore_plot_end_to_end(self, tmp_path, capsys):
+        rc = main(["--scale", "ci", "--no-store", "explore", "VADD",
+                   "--space", "tiny", "--agent", "random",
+                   "--generations", "1", "--population", "2",
+                   "--max-cycles", "5000000",
+                   "--out", str(tmp_path / "xo"), "--plot"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "best-so-far" in out
+        assert "final best" in out
+
+
+class TestServeCLI:
+    def test_serve_flags_parsed(self):
+        p = build_parser()
+        args = p.parse_args(["serve"])
+        assert args.port == 8787 and args.mode == "process"
+        assert args.rate == 0.0 and args.hot_set == 64
+        args = p.parse_args(["serve", "--port", "0", "--mode", "thread",
+                             "--rate", "2.5", "--hot-set", "8",
+                             "--queue-depth", "32"])
+        assert args.port == 0 and args.mode == "thread"
+        assert args.rate == 2.5 and args.hot_set == 8
+        assert args.queue_depth == 32
+
+    def test_loadtest_flags_parsed(self):
+        p = build_parser()
+        args = p.parse_args(["loadtest"])
+        assert args.url == "http://127.0.0.1:8787"
+        assert args.clients == 8 and args.duplicates == 0.5
+        assert args.workload == "VADD" and args.config == "Baseline"
+        assert not args.expect_rejections
+        args = p.parse_args(["loadtest", "--clients", "4",
+                             "--mix", "run,sweep", "--expect-rejections"])
+        assert args.clients == 4 and args.mix == "run,sweep"
+        assert args.expect_rejections
+
+    def test_explore_plot_flag_parsed(self):
+        args = build_parser().parse_args(["explore", "VADD", "--plot"])
+        assert args.plot
+        assert not build_parser().parse_args(["explore", "VADD"]).plot
+
+    def test_run_unknown_workload_exits_2(self, capsys):
+        rc = main(["--scale", "ci", "--no-store", "run", "NOPE", "Baseline"])
+        assert rc == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_loadtest_against_dead_daemon_exits_2(self, capsys):
+        rc = main(["loadtest", "--url", "http://127.0.0.1:9",
+                   "--clients", "1", "--requests", "1"])
+        assert rc == 2
+        assert "loadtest failed" in capsys.readouterr().err

@@ -470,3 +470,90 @@ class TestShippedTree:
         assert proj.metric_known("packets.offload_cmd")
         assert not proj.metric_known("packts.CMD")
         assert "workload" in proj.run_request_fields
+
+
+class TestMetricReceiverNaming:
+    """PROTO004 (the enforced receiver-naming convention) and the
+    annotation-aware receiver resolution that replaced PROTO002's old
+    name-list heuristic."""
+
+    BAD_EMIT = "    {recv}.counter(\"packts.CMD\").add(1)\n"
+
+    def test_conventional_bindings_are_clean(self, tmp_path):
+        src = ("from repro.sim.metrics import MetricsRegistry\n"
+               "m = MetricsRegistry()\n"
+               "metrics = MetricsRegistry()\n"
+               "registry = MetricsRegistry()\n"
+               "run_metrics = MetricsRegistry()\n"
+               "shard_registry = MetricsRegistry()\n")
+        assert not by_rule(lint_pkg(tmp_path, {"serve/wire.py": src}),
+                           "PROTO004")
+
+    def test_assignment_to_unconventional_name_flagged(self, tmp_path):
+        src = "tracker = MetricsRegistry()\n"
+        hits = by_rule(lint_pkg(tmp_path, {"serve/wire.py": src}),
+                       "PROTO004")
+        assert len(hits) == 1
+        assert "tracker" in hits[0].message
+        assert hits[0].severity == "error"
+
+    def test_annotated_param_flagged(self, tmp_path):
+        src = ("def attach(tracker: MetricsRegistry):\n"
+               "    return tracker\n")
+        hits = by_rule(lint_pkg(tmp_path, {"serve/wire.py": src}),
+                       "PROTO004")
+        assert len(hits) == 1
+        assert "tracker" in hits[0].message
+
+    def test_annotated_attribute_flagged(self, tmp_path):
+        src = ("class Daemon:\n"
+               "    def __init__(self):\n"
+               "        self.tracker: MetricsRegistry = MetricsRegistry()\n")
+        hits = by_rule(lint_pkg(tmp_path, {"serve/wire.py": src}),
+                       "PROTO004")
+        assert len(hits) == 1
+        assert "tracker" in hits[0].message
+
+    def test_optional_and_forward_ref_annotations_recognized(self, tmp_path):
+        src = ("def a(tracker: MetricsRegistry | None):\n"
+               "    return tracker\n"
+               "def b(keeper: \"MetricsRegistry\"):\n"
+               "    return keeper\n")
+        hits = by_rule(lint_pkg(tmp_path, {"serve/wire.py": src}),
+                       "PROTO004")
+        assert {h.message.split("'")[1] for h in hits} \
+            == {"tracker", "keeper"}
+
+    def test_proto002_follows_annotated_receiver(self, tmp_path):
+        # Even before the rename PROTO004 demands, PROTO002 must see the
+        # bad metric name through the annotated binding.
+        src = ("def publish(tracker: MetricsRegistry):\n"
+               + self.BAD_EMIT.format(recv="tracker"))
+        hits = by_rule(lint_pkg(tmp_path, {"sim/probe.py": src}),
+                       "PROTO002")
+        assert len(hits) == 1
+        assert "packts.CMD" in hits[0].message
+
+    def test_proto002_follows_constructed_receiver(self, tmp_path):
+        src = ("def publish():\n"
+               "    tracker = MetricsRegistry()\n"
+               + self.BAD_EMIT.format(recv="tracker"))
+        hits = by_rule(lint_pkg(tmp_path, {"sim/probe.py": src}),
+                       "PROTO002")
+        assert len(hits) == 1
+
+    def test_proto002_follows_suffix_convention(self, tmp_path):
+        src = ("def publish(shard_metrics):\n"
+               + self.BAD_EMIT.format(recv="shard_metrics"))
+        hits = by_rule(lint_pkg(tmp_path, {"sim/probe.py": src}),
+                       "PROTO002")
+        assert len(hits) == 1
+
+    def test_unrecognizable_receiver_stands_down(self, tmp_path):
+        # An unannotated, unconventionally named parameter is invisible
+        # to PROTO002 by design -- PROTO004 outlaws creating such a
+        # binding, which is what keeps this gate sound.
+        src = ("def publish(thing):\n"
+               + self.BAD_EMIT.format(recv="thing"))
+        assert not by_rule(lint_pkg(tmp_path, {"sim/probe.py": src}),
+                           "PROTO002")
