@@ -51,9 +51,11 @@ __all__ = ["BenchOutcome", "ChaosCell", "ChaosReport", "RunOutcome",
 
 def base_config(*, base: SystemConfig | None = None, sms: int | None = None,
                 nsu_mhz: float | None = None, ro_cache: int | None = None,
-                target_policy: str | None = None) -> SystemConfig:
+                target_policy: str | None = None,
+                backend: str | None = None) -> SystemConfig:
     """The base :class:`SystemConfig` with the standard overrides applied
-    (``paper_config()`` unless ``base`` is given)."""
+    (``paper_config()`` unless ``base`` is given).  ``backend`` selects
+    the memory substrate ("hmc"/"cxl", see docs/backends.md)."""
     cfg = base or paper_config()
     if sms:
         cfg = cfg.scaled_gpu(num_sms=sms)
@@ -63,6 +65,8 @@ def base_config(*, base: SystemConfig | None = None, sms: int | None = None,
         cfg = cfg.with_ro_cache(ro_cache)
     if target_policy:
         cfg = cfg.with_target_policy(target_policy)
+    if backend:
+        cfg = cfg.with_backend(backend)
     return cfg
 
 
@@ -125,6 +129,8 @@ class RunRequest:
     nsu_mhz: float | None = None
     ro_cache: int | None = None
     target_policy: str | None = None
+    #: Memory substrate ("hmc"/"cxl"); None keeps the base config's.
+    backend: str | None = None
     faults: FaultPlan | str | None = None
     fault_rate: float = 0.01
     fault_seed: int = 0
@@ -142,7 +148,8 @@ class RunRequest:
     def resolved_config(self) -> SystemConfig:
         return base_config(base=self.base, sms=self.sms,
                            nsu_mhz=self.nsu_mhz, ro_cache=self.ro_cache,
-                           target_policy=self.target_policy)
+                           target_policy=self.target_policy,
+                           backend=self.backend)
 
     def resolved_plan(self) -> FaultPlan | None:
         return fault_plan(self.faults, rate=self.fault_rate,
@@ -260,7 +267,8 @@ def run(request: RunRequest | None = None, **kwargs) -> RunOutcome:
 
 def make_runner(*, base: SystemConfig | None = None, sms: int | None = None,
                 nsu_mhz: float | None = None, ro_cache: int | None = None,
-                target_policy: str | None = None, scale: str = "bench",
+                target_policy: str | None = None,
+                backend: str | None = None, scale: str = "bench",
                 workloads=None, parallel: int = 1,
                 store: ResultStore | str | None = None,
                 use_store: bool = True, max_cycles: int = 20_000_000,
@@ -273,7 +281,8 @@ def make_runner(*, base: SystemConfig | None = None, sms: int | None = None,
     persisted); store hits are served as-is."""
     return ExperimentRunner(
         base=base_config(base=base, sms=sms, nsu_mhz=nsu_mhz,
-                         ro_cache=ro_cache, target_policy=target_policy),
+                         ro_cache=ro_cache, target_policy=target_policy,
+                         backend=backend),
         scale=scale, workloads=workloads, max_cycles=max_cycles,
         verbose=verbose, parallel=max(1, parallel or 1),
         store=resolve_store(store, use_store=use_store), audit=audit,
@@ -467,6 +476,7 @@ class BenchOutcome:
 
 def bench(*, sched: str = "active", suites=("sparse",), quick: bool = False,
           repeats: int = 2, max_cycles: int = 20_000_000,
+          backend: str | None = None,
           out: str | None = None, compare: str | None = None,
           explore_best: str | None = None, progress=None) -> BenchOutcome:
     """Run the pinned simulator benchmark grid (:mod:`repro.perf.bench`).
@@ -482,6 +492,7 @@ def bench(*, sched: str = "active", suites=("sparse",), quick: bool = False,
     from repro.perf import bench as perf
     report = perf.run_bench(sched=sched, suites=suites, quick=quick,
                             repeats=repeats, max_cycles=max_cycles,
+                            backend=backend,
                             explore_best=explore_best, progress=progress)
     path = perf.write_report(report, out) if out is not None else None
     comparison = (perf.compare(report, perf.load_report(compare))

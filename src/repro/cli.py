@@ -28,9 +28,10 @@ Commands
 Common flags: ``--scale ci|bench|paper``, ``--workloads A,B,...``,
 ``--store DIR`` / ``--no-store`` (persistent result cache, default from
 ``$REPRO_STORE``), ``--parallel N`` (process-pool sweeps), ``--sms N``,
-``--nsu-mhz F``, ``--ro-cache BYTES``, ``--target-policy first|optimal``,
-``--sched active|legacy`` (main-loop scheduler; bit-identical results,
-see docs/performance.md).
+``--nsu-mhz F``, ``--ro-cache BYTES``,
+``--target-policy first|optimal|coda``, ``--backend hmc|cxl`` (memory
+substrate, see docs/backends.md), ``--sched active|legacy`` (main-loop
+scheduler; bit-identical results, see docs/performance.md).
 ``run`` additionally accepts ``--stats``, ``--trace``,
 ``--metrics OUT.jsonl`` (see docs/observability.md) and
 ``--faults SCENARIO --fault-rate R --fault-seed S`` (deterministic fault
@@ -62,7 +63,8 @@ from repro.workloads import workload_names
 def _config_kwargs(args) -> dict:
     """The base-config override flags, as api.base_config keywords."""
     return {"sms": args.sms, "nsu_mhz": args.nsu_mhz,
-            "ro_cache": args.ro_cache, "target_policy": args.target_policy}
+            "ro_cache": args.ro_cache, "target_policy": args.target_policy,
+            "backend": args.backend}
 
 
 def _base_config(args):
@@ -381,6 +383,7 @@ def cmd_bench(args) -> int:
     try:
         out = api.bench(sched=args.sched, suites=suites, quick=args.quick,
                         repeats=args.repeats, max_cycles=args.max_cycles,
+                        backend=args.backend,
                         out=args.out, compare=args.compare,
                         explore_best=args.explore_best,
                         progress=print)
@@ -564,7 +567,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nsu-mhz", type=float, help="override NSU clock")
     p.add_argument("--ro-cache", type=int,
                    help="NSU read-only cache bytes (extension)")
-    p.add_argument("--target-policy", choices=["first", "optimal"])
+    p.add_argument("--target-policy", choices=["first", "optimal", "coda"])
+    p.add_argument("--backend", choices=["hmc", "cxl"],
+                   help="memory substrate (default hmc -- the paper's "
+                        "stacks; 'cxl' models memory expanders, see "
+                        "docs/backends.md)")
     p.add_argument("--sched", choices=["active", "legacy"],
                    default="active",
                    help="main-loop scheduler (bit-identical results; "
@@ -674,7 +681,8 @@ def build_parser() -> argparse.ArgumentParser:
     px = sub.add_parser("explore")
     px.add_argument("workload")
     px.add_argument("--space", default="default",
-                    help="search space: 'default' (8 knobs, 5832 points) "
+                    help="search space: 'default' (8 knobs, 5832 points), "
+                         "'backends' (substrate x placement comparison) "
                          "or 'tiny' (CI smoke)")
     px.add_argument("--agent", default="hillclimb",
                     choices=["random", "hillclimb", "genetic"],

@@ -159,6 +159,53 @@ class HMCConfig:
 
 
 @dataclass(frozen=True)
+class CXLConfig:
+    """CXL memory-expander backend parameters (the ``cxl`` entry of the
+    :data:`repro.memory.backend.BACKENDS` registry; see docs/backends.md).
+
+    Departures from the HMC substrate, all deliberate:
+
+    * the host link is **asymmetric** -- CXL.mem read/write flows share
+      PCIe lanes but pay different protocol overheads, so the down
+      (host->device) and up (device->host) directions carry their own
+      bandwidth and latency;
+    * there is **no intra-stack NoC** -- DDR channel controllers hang
+      directly off the expander controller, so local accesses pay a flat
+      ``port_latency`` and charge no intra-stack NoC bytes;
+    * the expander-side NDP unit sits behind a **device command queue**
+      (``ndp_cmd_queue``) sized independently of the NSU's own buffers.
+    """
+
+    num_channels: int = 8           # DDR channels per expander
+    banks_per_channel: int = 16
+    channel_queue_size: int = 64
+    # Host CXL port, per expander: asymmetric effective bandwidth.
+    host_link_gbps_down: float = 16.0
+    host_link_gbps_up: float = 24.0
+    link_latency_down: int = 40     # SM cycles (CXL port + flit framing)
+    link_latency_up: int = 30
+    # Inter-expander fabric (CXL switch), per link per direction.
+    fabric_gbps_per_dir: float = 12.0
+    # Expander controller traversal for a local channel access.
+    port_latency: int = 10
+    # Expander-side NDP command queue entries (credits per device).
+    ndp_cmd_queue: int = 16
+    # DDR5-class channel: narrower bus, larger rows than an HMC vault.
+    channel_bus_bytes_per_dram_cycle: int = 16
+    row_bytes: int = 8192
+    timing: DRAMTiming = field(default_factory=DRAMTiming)
+
+    def host_link_bytes_per_sm_cycle(self, sm_clock_mhz: float
+                                     ) -> tuple[float, float]:
+        scale = 1e9 / (sm_clock_mhz * 1e6)
+        return (self.host_link_gbps_down * scale,
+                self.host_link_gbps_up * scale)
+
+    def fabric_bytes_per_sm_cycle(self, sm_clock_mhz: float) -> float:
+        return self.fabric_gbps_per_dir * 1e9 / (sm_clock_mhz * 1e6)
+
+
+@dataclass(frozen=True)
 class NSUConfig:
     """Near-data-processing SIMD Unit configuration (Table 2, NDP section)."""
 
@@ -202,6 +249,15 @@ class SMBufferConfig:
         return (self.pending_entries + self.ready_entries) * self.entry_bytes
 
 
+#: Target-NSU selection policies (see repro.core.target_select).
+TARGET_POLICIES = ("first", "optimal", "coda")
+
+#: Memory-substrate backend names; the implementations live in the
+#: repro.memory.backend registry (kept as a plain tuple here so the
+#: config layer never imports the memory layer).
+BACKEND_NAMES = ("hmc", "cxl")
+
+
 class OffloadMode:
     """Named offload-decision policies evaluated in the paper."""
 
@@ -228,9 +284,11 @@ class NDPConfig:
     step_max: float = 0.15
     history_window: int = 4
     seq_num_bits: int = 6           # bounds #LD/ST per offload block
-    # Target-NSU selection: "first" (the paper's policy, Section 4.1.1)
-    # or "optimal" (the oracle alternative of Figure 5; needs unbounded
-    # address buffering in real hardware, modelled here for the ablation).
+    # Target-NSU selection: "first" (the paper's policy, Section 4.1.1),
+    # "optimal" (the oracle alternative of Figure 5; needs unbounded
+    # address buffering in real hardware, modelled here for the ablation)
+    # or "coda" (CODA-style compute/data co-location: weight the block's
+    # write set so compute lands with the data it will mutate).
     target_policy: str = "first"
 
     def __post_init__(self) -> None:
@@ -238,7 +296,7 @@ class NDPConfig:
             raise ValueError(f"unknown offload mode {self.mode!r}")
         if not 0.0 <= self.static_ratio <= 1.0:
             raise ValueError("static_ratio must be in [0, 1]")
-        if self.target_policy not in ("first", "optimal"):
+        if self.target_policy not in TARGET_POLICIES:
             raise ValueError(f"unknown target policy {self.target_policy!r}")
 
     @property
@@ -259,10 +317,20 @@ class SystemConfig:
     # Memory-network links per HMC used for the hypercube (Table 2 footnote:
     # 3 links of the HMC's 4 are used for the 3D hypercube of 8 stacks).
     seed: int = 1
+    # Memory substrate: "hmc" (the paper's stacks, the default) or "cxl"
+    # (memory expanders; parameters in ``cxl``).  ``num_hmcs`` counts
+    # devices for either substrate.  The store key strips these two
+    # fields at their defaults so every pre-backend key survives
+    # (see repro.sim.store.config_fingerprint).
+    backend: str = "hmc"
+    cxl: CXLConfig = field(default_factory=CXLConfig)
 
     def __post_init__(self) -> None:
         if self.num_hmcs & (self.num_hmcs - 1):
             raise ValueError("num_hmcs must be a power of two (hypercube)")
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(f"unknown memory backend {self.backend!r}; "
+                             f"choose from {', '.join(BACKEND_NAMES)}")
 
     @property
     def hypercube_dim(self) -> int:
@@ -301,8 +369,16 @@ class SystemConfig:
         return replace(self, nsu=replace(self.nsu, simd_width=width))
 
     def with_target_policy(self, policy: str) -> "SystemConfig":
-        """Return a copy using "first" or "optimal" target selection."""
+        """Return a copy using "first", "optimal" or "coda" target
+        selection."""
         return replace(self, ndp=replace(self.ndp, target_policy=policy))
+
+    def with_backend(self, name: str,
+                     cxl: CXLConfig | None = None) -> "SystemConfig":
+        """Return a copy on a different memory substrate ("hmc"/"cxl");
+        ``cxl`` optionally replaces the expander parameters too."""
+        return replace(self, backend=name,
+                       cxl=cxl if cxl is not None else self.cxl)
 
 
 def paper_config(mode: str = OffloadMode.OFF, **kwargs) -> SystemConfig:

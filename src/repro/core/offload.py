@@ -37,7 +37,6 @@ from typing import Callable
 from repro.config import LINE_SIZE, SystemConfig
 from repro.core.credit import BufferCreditManager
 from repro.core.packets import PacketSizes
-from repro.core.target_select import first_instr_target, optimal_target
 from repro.faults.recovery import RecoveryStats
 from repro.gpu.coalescer import MemAccess
 from repro.sim.engine import Engine
@@ -109,7 +108,9 @@ class NDPController:
     """One controller per GPU; owns the credit manager and packet plumbing."""
 
     def __init__(self, engine: Engine, cfg: SystemConfig, *, amap, memsys,
-                 gpu_links, network, hmcs, counters, decider=None) -> None:
+                 gpu_links, network, hmcs, counters, decider=None,
+                 backend=None) -> None:
+        from repro.memory.backend import resolve_backend
         self.engine = engine
         self.cfg = cfg
         self.amap = amap
@@ -119,9 +120,16 @@ class NDPController:
         self.hmcs = hmcs
         self.counters = counters
         self.decider = decider
+        # Substrate hooks: target selection, device queue depth, and the
+        # cost of a device-local response hop all come from the backend
+        # ("hmc" returns the historical constants bit-identically).
+        self.backend = resolve_backend(backend if backend is not None
+                                       else cfg.backend)
+        self._internal_noc = self.backend.internal_noc
+        self._local_resp_latency = self.backend.local_response_latency(cfg)
         self.credits = BufferCreditManager(
             engine, cfg.num_hmcs,
-            cmd_entries=cfg.nsu.cmd_buffer_entries,
+            cmd_entries=self.backend.ndp_cmd_entries(cfg),
             read_data_entries=cfg.nsu.read_data_entries,
             write_addr_entries=cfg.nsu.write_addr_entries)
         self.nsus: list = []               # filled by the system after build
@@ -175,10 +183,7 @@ class NDPController:
         if self.pending[sm_id] + 1 > self.pending_cap:
             self.stats.pending_rejects += 1
             return None
-        if self.cfg.ndp.target_policy == "optimal":
-            target = optimal_target(item.mem_accesses, self.amap)
-        else:
-            target = first_instr_target(item.mem_accesses[0], self.amap)
+        target = self.backend.select_target(self.cfg, item, self.amap)
         self._uid_counter += 1
         uid = (sm_id, warp.wid, self._uid_counter)
         inst = OffloadInstance(uid, sm, warp, item, target)
@@ -351,10 +356,12 @@ class NDPController:
                                       f"hmc{owner}", f"hmc{target}", resp,
                                       inst.uid, f"seq {seq}")
                 if owner == target:
-                    self.counters.add("intra_hmc", resp)
+                    if self._internal_noc:
+                        self.counters.add("intra_hmc", resp)
                     self.engine.after(
-                        4, lambda: self._deliver_read(inst, attempt, key,
-                                                      acc.words))
+                        self._local_resp_latency,
+                        lambda: self._deliver_read(inst, attempt, key,
+                                                   acc.words))
                 else:
                     self.network.send(
                         owner, target, resp,

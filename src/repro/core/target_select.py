@@ -7,6 +7,10 @@ block -- is traffic-optimal but needs a buffer for every generated address,
 so the paper rejects it after showing (Figure 5) the first-instruction
 policy costs at most ~15% extra inter-stack traffic under random placement,
 with the gap vanishing as blocks touch more memory.
+
+A third policy, :func:`coda_target`, implements CODA-style compute/data
+co-location (weight the write set) for the comparative-backend studies;
+all three are dispatched by ``MemoryBackend.select_target``.
 """
 
 from __future__ import annotations
@@ -42,6 +46,40 @@ def optimal_target(all_accesses: tuple[tuple[MemAccess, ...], ...],
     if not lines:
         raise ValueError("offload block has no memory accesses")
     return _majority_hmc(lines, amap)
+
+
+def coda_target(all_accesses: tuple[tuple[MemAccess, ...], ...],
+                block, amap: AddressMap, write_weight: int = 2) -> int:
+    """CODA-style co-location policy: weight the block's *write set*.
+
+    CODA places compute next to the data it mutates: a store crosses the
+    network twice on a miss (write-allocate fetch + writeback) and its
+    line is the block's output, so co-locating with the majority of the
+    write set keeps producer->consumer chains device-local.  We walk the
+    block's GPU code to classify each memory instruction ("rdf" = load,
+    "wta" = store -- :mod:`repro.isa.codegen`) and count every store
+    access ``write_weight`` times in the majority vote.  Same
+    deterministic low-id tie-break as the other policies.
+
+    Falls back to plain majority (== ``optimal_target``) for read-only
+    blocks, where co-location has nothing extra to say.
+    """
+    weighted: Counter = Counter()
+    mem_seq = 0
+    for inst in block.gpu_code:
+        if inst.kind not in ("rdf", "wta"):
+            continue
+        group = all_accesses[mem_seq]
+        mem_seq += 1
+        weight = write_weight if inst.kind == "wta" else 1
+        owners = amap.hmc_of_lines(np.asarray(
+            [a.line_addr for a in group], dtype=np.int64)).tolist()
+        for owner in owners:
+            weighted[owner] += weight
+    if not weighted:
+        raise ValueError("offload block has no memory accesses")
+    best = max(weighted.items(), key=lambda kv: (kv[1], -kv[0]))
+    return best[0]
 
 
 def block_traffic(all_accesses, target: int, amap: AddressMap) -> int:

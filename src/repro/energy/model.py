@@ -76,8 +76,14 @@ def compute_energy(result: RunResult, cfg: SystemConfig,
         nsu = (cfg.num_hmcs * p.nsu_static_nj_per_cycle * t
                + p.nsu_instr_nj * result.nsu_instructions)
 
+    # The off-chip link constant is substrate-specific (HMC serdes vs
+    # CXL serdes+protocol); the intra-device term is naturally zero on
+    # backends without an internal NoC (they never count intra_hmc
+    # bytes).  getattr keeps pre-backend SystemConfig pickles working.
+    from repro.memory.backend import resolve_backend
+    backend = resolve_backend(getattr(cfg, "backend", "hmc"))
     intra = p.intra_hmc_nj_per_byte * result.traffic.intra_hmc
-    offchip = p.offchip_link_nj_per_byte * (
+    offchip = backend.link_energy_nj_per_byte(p) * (
         result.traffic.gpu_link + result.traffic.mem_net)
 
     dram = (p.dram_activate_nj * result.dram_activations

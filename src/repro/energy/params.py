@@ -37,6 +37,9 @@ class EnergyParams:
 
     # -- interconnect -------------------------------------------------------------
     offchip_link_nj_per_byte: float = 0.016   # 2 pJ/bit (paper)
+    # CXL links pay serdes + protocol (flit/CRC) overhead on top of the
+    # raw transceiver energy; used by the "cxl" memory backend.
+    cxl_link_nj_per_byte: float = 0.024       # 3 pJ/bit
     intra_hmc_nj_per_byte: float = 0.004      # logic-layer NoC + TSVs
 
     # -- DRAM ------------------------------------------------------------------------

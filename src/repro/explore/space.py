@@ -34,8 +34,8 @@ from typing import Callable
 from repro.config import SystemConfig, paper_config
 from repro.sim.runner import make_config
 
-__all__ = ["Constraint", "Knob", "SPACES", "SearchSpace", "default_space",
-           "resolve_space", "tiny_space"]
+__all__ = ["Constraint", "Knob", "SPACES", "SearchSpace", "backends_space",
+           "default_space", "resolve_space", "tiny_space"]
 
 
 @dataclass(frozen=True)
@@ -300,10 +300,31 @@ def tiny_space(base: SystemConfig | None = None) -> SearchSpace:
     )
 
 
+def backends_space(base: SystemConfig | None = None) -> SearchSpace:
+    """The comparative-substrate space (ISSUE 8): memory backend x
+    target-selection policy x offload variant x NSU clock.  36 raw
+    points -- small enough for an exhaustive sweep, wide enough to rank
+    hmc-vs-cxl under each placement policy (docs/backends.md)."""
+    return SearchSpace(
+        name="backends",
+        base=base or paper_config(),
+        knobs=(
+            Knob("offload", ("NDP(Dyn)", "NDP(Dyn)_Cache")),
+            Knob("backend", ("hmc", "cxl"),
+                 lambda cfg, v: cfg.with_backend(v)),
+            Knob("target_policy", ("first", "optimal", "coda"),
+                 lambda cfg, v: cfg.with_target_policy(v)),
+            Knob("nsu_mhz", (350.0, 700.0, 1400.0),
+                 lambda cfg, v: cfg.with_nsu_clock(v), unit="MHz"),
+        ),
+    )
+
+
 #: Named space registry (the CLI's ``--space`` choices).
 SPACES: dict[str, Callable[..., SearchSpace]] = {
     "default": default_space,
     "tiny": tiny_space,
+    "backends": backends_space,
 }
 
 

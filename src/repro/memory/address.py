@@ -54,14 +54,28 @@ class Location:
 
 
 class AddressMap:
-    """Address decoding for a multi-stack system."""
+    """Address decoding for a multi-stack system.
 
-    def __init__(self, cfg: SystemConfig) -> None:
+    The within-device geometry defaults to the HMC stack layout; memory
+    backends with a different internal organization (e.g. the CXL
+    expander's DDR channels) pass explicit ``num_vaults`` /
+    ``banks_per_vault`` / ``row_bytes`` overrides.  The page->device
+    interleaving is geometry-independent so placement studies compare
+    like-for-like across substrates.
+    """
+
+    def __init__(self, cfg: SystemConfig, *,
+                 num_vaults: int | None = None,
+                 banks_per_vault: int | None = None,
+                 row_bytes: int | None = None) -> None:
         self.cfg = cfg
         self.num_hmcs = cfg.num_hmcs
-        self.num_vaults = cfg.hmc.num_vaults
-        self.banks_per_vault = cfg.hmc.banks_per_vault
-        self.lines_per_row = cfg.hmc.row_bytes // LINE_SIZE
+        self.num_vaults = num_vaults if num_vaults is not None \
+            else cfg.hmc.num_vaults
+        self.banks_per_vault = banks_per_vault if banks_per_vault is not None \
+            else cfg.hmc.banks_per_vault
+        self.lines_per_row = (row_bytes if row_bytes is not None
+                              else cfg.hmc.row_bytes) // LINE_SIZE
         self.seed = cfg.seed
         # The working sets span a few thousand pages; memoizing the hash
         # turns the per-access page lookup into a dict hit.

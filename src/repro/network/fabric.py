@@ -33,12 +33,16 @@ class MemoryNetwork:
     """Hypercube of HMC-to-HMC serdes links."""
 
     def __init__(self, engine: Engine, cfg: SystemConfig,
-                 counters: LinkCounters) -> None:
+                 counters: LinkCounters, *,
+                 bpc: float | None = None) -> None:
         self.engine = engine
         self.cfg = cfg
         self.faults = None   # armed by the system when a plan is active
         self.graph: nx.Graph = hypercube_topology(cfg.num_hmcs)
-        bpc = cfg.hmc.link_bytes_per_sm_cycle(cfg.gpu.sm_clock_mhz)
+        # Per-direction link bandwidth; the memory backend may override
+        # (the CXL backend models a switch fabric slower than HMC serdes).
+        if bpc is None:
+            bpc = cfg.hmc.link_bytes_per_sm_cycle(cfg.gpu.sm_clock_mhz)
         self._links: dict[tuple[int, int], Link] = {}
         # sorted(): networkx edge order is adjacency-insertion order; a
         # canonical construction order keeps link ids and any future
@@ -111,23 +115,33 @@ class GPULinks:
     """
 
     def __init__(self, engine: Engine, cfg: SystemConfig,
-                 counters: LinkCounters) -> None:
+                 counters: LinkCounters, *,
+                 down_bpc: float | None = None,
+                 up_bpc: float | None = None,
+                 down_latency: int = GPU_LINK_LATENCY,
+                 up_latency: int = GPU_LINK_LATENCY) -> None:
         if cfg.gpu.num_links != cfg.num_hmcs:
             raise ValueError(
                 f"system wiring expects one GPU link per HMC "
                 f"({cfg.gpu.num_links} links, {cfg.num_hmcs} HMCs)")
         self.engine = engine
         self.faults = None   # armed by the system when a plan is active
-        bpc = cfg.gpu.link_bytes_per_sm_cycle
+        # Memory backends may make the link asymmetric (CXL.mem has
+        # different request/response channel widths and latencies);
+        # defaults keep the symmetric Table 2 link.
+        if down_bpc is None:
+            down_bpc = cfg.gpu.link_bytes_per_sm_cycle
+        if up_bpc is None:
+            up_bpc = cfg.gpu.link_bytes_per_sm_cycle
         self.down: list[Link] = []   # GPU -> HMC
         self.up: list[Link] = []     # HMC -> GPU
         for i in range(cfg.num_hmcs):
-            self.down.append(Link(engine, f"gpu->hmc{i}", bpc,
-                                  latency=GPU_LINK_LATENCY,
+            self.down.append(Link(engine, f"gpu->hmc{i}", down_bpc,
+                                  latency=down_latency,
                                   traffic_class="gpu_link",
                                   counters=counters))
-            self.up.append(Link(engine, f"hmc{i}->gpu", bpc,
-                                latency=GPU_LINK_LATENCY,
+            self.up.append(Link(engine, f"hmc{i}->gpu", up_bpc,
+                                latency=up_latency,
                                 traffic_class="gpu_link",
                                 counters=counters))
 

@@ -153,16 +153,20 @@ def _run_cell(workload: str, config: str, num_sms: int | None, *,
 
 def run_bench(*, sched: str = "active", suites=("sparse",),
               quick: bool = False, repeats: int = 2,
-              max_cycles: int = 20_000_000,
+              max_cycles: int = 20_000_000, backend: str | None = None,
               explore_best: str | None = None, progress=None) -> dict:
     """Run the pinned grid and return a report dict (see ``write_report``).
 
     ``progress`` is an optional callable taking one formatted line per
-    completed cell (the CLI passes ``print``).  ``explore_best`` names a
+    completed cell (the CLI passes ``print``).  ``backend`` swaps the
+    memory substrate (docs/backends.md); non-default backends record
+    their cells as ``<config>@<backend>`` so they never alias the pinned
+    hmc identities in ``--compare``.  ``explore_best`` names a
     ``best_configs.json`` written by ``repro explore``: its rank-1
     configuration is timed as one extra cell, labelled
     ``explore[<fitness>]:<config>`` so it never aliases a pinned cell.
     """
+    backend = backend or "hmc"
     if quick:
         cells_spec = QUICK
         suites = ("quick",)
@@ -173,10 +177,15 @@ def run_bench(*, sched: str = "active", suites=("sparse",),
                 raise KeyError(f"unknown bench suite {name!r}; choose from "
                                f"{sorted(SUITES)}")
             cells_spec.extend(SUITES[name])
+    base = (paper_config() if backend == "hmc"
+            else paper_config().with_backend(backend))
+    suffix = "" if backend == "hmc" else f"@{backend}"
     cells: list[BenchCell] = []
     for workload, config, num_sms in cells_spec:
         cell = _run_cell(workload, config, num_sms, sched=sched,
-                         repeats=repeats, max_cycles=max_cycles)
+                         repeats=repeats, max_cycles=max_cycles,
+                         base=base,
+                         label=(config + suffix) if suffix else None)
         cells.append(cell)
         if progress is not None:
             progress(format_cell(cell))
@@ -194,6 +203,7 @@ def run_bench(*, sched: str = "active", suites=("sparse",),
         "version": REPORT_VERSION,
         "rev": git_rev(),
         "sched": sched,
+        "backend": backend,
         "suites": list(suites),
         "explore_best": os.path.basename(explore_best) if explore_best
                         else None,

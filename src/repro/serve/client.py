@@ -77,6 +77,10 @@ class ServeClient:
     def explore(self, **payload) -> dict:
         return self.request("POST", "/v1/explore", payload)
 
+    def batch(self, jobs: list[dict]) -> dict:
+        """Many jobs in one request; each needs a ``"kind"`` field."""
+        return self.request("POST", "/v1/batch", {"jobs": jobs})
+
     # -- introspection / lifecycle -------------------------------------------
 
     def healthz(self) -> dict:

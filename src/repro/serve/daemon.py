@@ -15,6 +15,7 @@ the full tour):
   exported as the standard JSONL stream on shutdown.
 
 Endpoints (all JSON): ``POST /v1/{run,sweep,chaos,bench,explore}``,
+``POST /v1/batch`` (many jobs per request, per-item statuses),
 ``POST /v1/shutdown``, ``GET /v1/{healthz,stats,metrics}``.  Errors are
 structured: ``{"error": <type>, "detail": <message>}`` with 400 for
 malformed requests, 429 (+``retry_after``) for rate-limited clients,
@@ -225,13 +226,25 @@ class ServeDaemon:
 
     def _admit(self, kind: str, payload: dict, client: str
                ) -> tuple[int, dict]:
+        answer, pending = self._enqueue(kind, payload, client)
+        if answer is not None:
+            return answer
+        return self._await(pending)
+
+    def _enqueue(self, kind: str, payload: dict, client: str):
+        """The synchronous half of admission: rate limit, validation,
+        warm-cache answers, coalescer + queue.  Returns either a final
+        ``((status, body), None)`` or ``(None, (job, coalesced))`` for a
+        queued/coalesced job to :meth:`_await` later.  Splitting here is
+        what lets ``/v1/batch`` enqueue every item before waiting on any
+        of them."""
         ok, retry_after = self.limiter.allow(client)
         if not ok:
             self._count("serve.rate_limited")
-            return 429, {"error": "rate-limited",
-                         "detail": f"client {client!r} is over the "
-                                   f"{self.limiter.rate:g} req/s budget",
-                         "retry_after": round(retry_after, 3)}
+            return (429, {"error": "rate-limited",
+                          "detail": f"client {client!r} is over the "
+                                    f"{self.limiter.rate:g} req/s budget",
+                          "retry_after": round(retry_after, 3)}), None
         payload = dict(payload)
         payload.pop("client", None)
         if self.config.store is not None:
@@ -247,13 +260,14 @@ class ServeDaemon:
                 key = job_fingerprint(kind, payload)
         except (KeyError, ValueError, TypeError) as e:
             self._count("serve.errors")
-            return 400, _error_body(e)
+            return (400, _error_body(e)), None
 
         if cacheable:
             hot = self.hot.get(key)
             if hot is not None:
                 self._count("serve.hot.hits")
-                return 200, {**hot, "source": "hot", "coalesced": False}
+                return (200, {**hot, "source": "hot",
+                              "coalesced": False}), None
             if self.store is not None and payload.get("use_store", True):
                 cached = self.store.get(key)
                 if cached is not None:
@@ -262,7 +276,7 @@ class ServeDaemon:
                     body = _stored_dict(cached, key, str(self.store.root),
                                         "store")
                     self.hot.put(key, body)
-                    return 200, {**body, "coalesced": False}
+                    return (200, {**body, "coalesced": False}), None
 
         job, coalesced = self.coalescer.admit(
             Job(kind=kind, key=key, payload=payload, client=client))
@@ -274,10 +288,15 @@ class ServeDaemon:
             except (OverflowError, QueueClosed) as e:
                 self.coalescer.resolve(job, error=e)
                 self._count("serve.errors")
-                return 503, _error_body(e)
+                return (503, _error_body(e)), None
             self._count("serve.jobs.queued")
             self.registry.observe("serve.queue.depth", depth)
+        return None, (job, coalesced)
 
+    def _await(self, pending) -> tuple[int, dict]:
+        """The blocking half of admission: wait on a queued job's shared
+        future and shape the response."""
+        job, coalesced = pending
         try:
             value = job.future.result(timeout=self.config.request_timeout)
         except Exception as e:
@@ -285,6 +304,58 @@ class ServeDaemon:
             return _status_for(e), {**_error_body(e),
                                     "coalesced": coalesced}
         return 200, {**value, "coalesced": coalesced}
+
+    def handle_batch(self, payload: dict, client: str) -> tuple[int, dict]:
+        """``POST /v1/batch``: many jobs in one request, enqueued as a
+        group so duplicate cells coalesce against each other and the
+        shards work all items concurrently; the response carries one
+        ``{"status", "body"}`` entry per item, in order.
+
+        Each item is a job object ``{"kind": <run|sweep|...>, ...}`` and
+        is admitted exactly like a standalone POST -- including the
+        per-item rate-limit charge (batching is an HTTP amortization, not
+        a quota bypass).  The request itself fails (400) only when the
+        envelope is malformed; per-item failures ride the item's entry.
+        """
+        t0 = time.monotonic()
+        jobs = payload.get("jobs")
+        if not isinstance(jobs, list) or not jobs:
+            self._count("serve.errors")
+            return 400, {"error": "bad-batch",
+                         "detail": "expected {\"jobs\": [<job>, ...]} with "
+                                   "at least one job object"}
+        self._count("serve.requests")
+        self._count("serve.batch.requests")
+        self._count("serve.batch.jobs", len(jobs))
+        # Phase 1: admit everything (warm answers resolve immediately,
+        # the rest enqueue).  Phase 2: wait for the queued ones.
+        slots: list = []
+        for item in jobs:
+            if not isinstance(item, dict) or "kind" not in item:
+                self._count("serve.errors")
+                slots.append(((400, {"error": "bad-batch",
+                                     "detail": "each job needs a \"kind\""}),
+                              None))
+                continue
+            item = dict(item)
+            kind = item.pop("kind")
+            if kind not in JOB_KINDS:
+                self._count("serve.errors")
+                slots.append(((404, {"error": "not-found",
+                                     "detail": f"unknown job kind "
+                                               f"{kind!r}"}), None))
+                continue
+            slots.append(self._enqueue(kind, item,
+                                       str(item.pop("client", client))))
+        results = [{"status": answer[0], "body": answer[1]}
+                   if answer is not None
+                   else dict(zip(("status", "body"), self._await(pending)))
+                   for answer, pending in slots]
+        self.registry.observe("serve.latency.ms",
+                              (time.monotonic() - t0) * 1000.0,
+                              bounds=LATENCY_BOUNDS_MS)
+        ok = sum(1 for r in results if r["status"] == 200)
+        return 200, {"count": len(results), "ok": ok, "results": results}
 
     # -- introspection -------------------------------------------------------
 
@@ -304,6 +375,7 @@ class ServeDaemon:
             "coalesce_hits": self.coalescer.hits,
             "rate_limited": self.limiter.rejections,
             "worker_restarts": self.pool.restarts,
+            "shard_queue_depths": self.pool.queue_depths(),
             "hot_set": len(self.hot),
             "counters": {k: c.value for k, c in
                          sorted(self.registry.counters.items())},
@@ -379,7 +451,7 @@ class _Handler(BaseHTTPRequestHandler):
             threading.Thread(target=d.stop, daemon=True,
                              name="serve-stop").start()
             return
-        if kind not in JOB_KINDS:
+        if kind not in JOB_KINDS and kind != "batch":
             self._send(404, {"error": "not-found", "detail": self.path})
             return
         try:
@@ -395,5 +467,8 @@ class _Handler(BaseHTTPRequestHandler):
             return
         client = (self.headers.get("X-Repro-Client")
                   or payload.get("client") or self.client_address[0])
-        status, body = d.handle(kind, payload, str(client))
+        if kind == "batch":
+            status, body = d.handle_batch(payload, str(client))
+        else:
+            status, body = d.handle(kind, payload, str(client))
         self._send(status, body)

@@ -40,8 +40,8 @@ JOB_KINDS = ("run", "sweep", "chaos", "bench", "explore")
 #: SystemConfig / FaultPlan / MetricsRegistry objects cross the HTTP or
 #: pickle boundary).
 RUN_FIELDS = ("workload", "config", "scale", "sms", "nsu_mhz", "ro_cache",
-              "target_policy", "faults", "fault_rate", "fault_seed",
-              "max_cycles", "audit", "sched")
+              "target_policy", "backend", "faults", "fault_rate",
+              "fault_seed", "max_cycles", "audit", "sched")
 
 
 class ShardPool:
@@ -83,6 +83,11 @@ class ShardPool:
         idx = self.shard_of(job.key)
         self._shards[idx].submit(job, on_done)
         return idx
+
+    def queue_depths(self) -> list[int]:
+        """Per-shard FIFO depths (approximate -- Queue.qsize), surfaced
+        by ``GET /v1/stats`` so clients can see routing skew."""
+        return [s._q.qsize() for s in self._shards]
 
     def shutdown(self, wait_seconds: float = 5.0) -> None:
         for s in self._shards:

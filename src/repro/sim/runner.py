@@ -12,8 +12,6 @@ The configuration names follow the paper's figures:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.config import OffloadMode, SystemConfig, paper_config
 from repro.sim.results import RunResult
 from repro.sim.system import System
@@ -109,36 +107,3 @@ def run_workload(workload: str | WorkloadModel, config_name: str,
     system = build_system(workload, config_name, base=base, scale=scale,
                           metrics=metrics, faults=faults, sched=sched)
     return system.run(max_cycles=max_cycles)
-
-
-@dataclass
-class Sweep:
-    """Results of one workload across several configurations."""
-
-    workload: str
-    results: dict[str, RunResult]
-
-    def speedup(self, config_name: str,
-                baseline: str = "Baseline") -> float:
-        return self.results[config_name].speedup_over(
-            self.results[baseline])
-
-
-def run_sweep(workload: str, config_names, *, base: SystemConfig | None = None,
-              scale: str = "ci", max_cycles: int = 20_000_000) -> Sweep:
-    """Deprecated: use :func:`repro.api.sweep` instead.
-
-    Kept as a thin shim so pre-facade harnesses keep working; it
-    delegates to the facade with the result store disabled (the old
-    behaviour -- every call simulated from scratch).
-    """
-    import warnings
-
-    warnings.warn(
-        "repro.sim.runner.run_sweep is deprecated; use repro.api.sweep",
-        DeprecationWarning, stacklevel=2)
-    from repro import api
-
-    out = api.sweep(workload, configs=tuple(config_names), base=base,
-                    scale=scale, max_cycles=max_cycles, use_store=False)
-    return Sweep(workload, out.results)

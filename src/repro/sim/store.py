@@ -49,6 +49,11 @@ Three producers write through :func:`cell_key` and must stay coherent:
   parameter) must therefore go *into* the key -- or bump
   :data:`CODE_VERSION_SALT` -- never be left out "because only explore
   uses it".
+
+One sanctioned exception: :func:`config_fingerprint` strips the
+``backend``/``cxl`` fields when ``backend == "hmc"``.  The hmc substrate
+is bit-identical to the pre-backend simulator, so pre-existing store
+entries stay valid; any non-hmc backend keeps both fields in the key.
 """
 
 from __future__ import annotations
@@ -72,8 +77,20 @@ STORE_FORMAT = 1
 
 
 def config_fingerprint(cfg: SystemConfig) -> str:
-    """Canonical JSON of the full configuration tree."""
-    return json.dumps(dataclasses.asdict(cfg), sort_keys=True)
+    """Canonical JSON of the full configuration tree.
+
+    Back-compat rule for the memory-backend fields: on the default
+    ``backend="hmc"`` substrate, ``backend`` and the (then irrelevant)
+    ``cxl`` parameter block are stripped from the fingerprint, so every
+    key minted before the backend abstraction existed still resolves to
+    the same entry.  Non-default backends keep both fields, which is
+    what separates their keys from the hmc ones.
+    """
+    d = dataclasses.asdict(cfg)
+    if d.get("backend", "hmc") == "hmc":
+        d.pop("backend", None)
+        d.pop("cxl", None)
+    return json.dumps(d, sort_keys=True)
 
 
 def _scale_token(scale) -> str:

@@ -89,7 +89,10 @@ def audit_system(system, result: RunResult) -> list[str]:
             failures.append(str(e))
         for hmc in range(cfg.num_hmcs):
             got = system.ndp.credits.available(hmc)
-            want = (cfg.nsu.cmd_buffer_entries, cfg.nsu.read_data_entries,
+            # Command-queue depth is a backend decision (hmc: the NSU
+            # buffer; cxl: the expander-port queue) -- see backends.md.
+            want = (system.backend.ndp_cmd_entries(cfg),
+                    cfg.nsu.read_data_entries,
                     cfg.nsu.write_addr_entries)
             _check(got == want,
                    f"HMC {hmc} credits {got} != capacity {want}", failures)

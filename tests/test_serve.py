@@ -523,6 +523,79 @@ class TestDaemonCoalescing:
             assert wait_until(lambda: daemon._stopped.is_set(), timeout=15)
 
 
+class TestDaemonBatch:
+    def test_batch_runs_all_jobs_and_preserves_order(self):
+        with serve_daemon(worker=stub_worker) as (daemon, client):
+            resp = client.batch([
+                {"kind": "run", **run_payload(max_cycles=5_000_000)},
+                {"kind": "run", **run_payload(max_cycles=5_000_111)},
+                {"kind": "run", **run_payload(max_cycles=5_000_222)},
+            ])
+            assert resp["count"] == 3 and resp["ok"] == 3
+            keys = [r["body"]["store_key"] for r in resp["results"]]
+            assert keys == ["stub-5000000", "stub-5000111", "stub-5000222"]
+            assert all(r["status"] == 200 for r in resp["results"])
+            stats = daemon.stats()
+            assert stats["counters"]["serve.batch.requests"] == 1
+            assert stats["counters"]["serve.batch.jobs"] == 3
+
+    def test_duplicate_jobs_inside_a_batch_coalesce(self):
+        with serve_daemon(worker=stub_worker) as (daemon, client):
+            resp = client.batch([
+                {"kind": "run", **run_payload()},
+                {"kind": "run", **run_payload()},
+            ])
+            assert resp["ok"] == 2
+            flags = sorted(r["body"]["coalesced"] for r in resp["results"])
+            assert flags == [False, True]
+            assert daemon.stats()["coalesce_hits"] == 1
+
+    def test_malformed_envelope_is_400(self):
+        with serve_daemon(worker=stub_worker) as (_, client):
+            with pytest.raises(ServeError) as e:
+                client.request("POST", "/v1/batch", {"jobs": "nope"})
+            assert e.value.status == 400
+            with pytest.raises(ServeError) as e:
+                client.request("POST", "/v1/batch", {"jobs": []})
+            assert e.value.status == 400
+
+    def test_per_item_failures_ride_their_slot(self):
+        with serve_daemon(worker=stub_worker) as (_, client):
+            resp = client.batch([
+                {"kind": "run", **run_payload()},
+                {"no_kind": True},
+                {"kind": "teleport"},
+            ])
+            assert resp["count"] == 3 and resp["ok"] == 1
+            statuses = [r["status"] for r in resp["results"]]
+            assert statuses == [200, 400, 404]
+
+    def test_batch_items_are_rate_limited_individually(self):
+        with serve_daemon(worker=stub_worker, rate=0.001,
+                          burst=2) as (_, client):
+            resp = client.batch([
+                {"kind": "run", **run_payload(max_cycles=5_000_000 + i)}
+                for i in range(4)
+            ])
+            statuses = [r["status"] for r in resp["results"]]
+            assert statuses.count(200) == 2      # burst allowance
+            assert statuses.count(429) == 2      # charged per item
+            assert resp["ok"] == 2
+
+    def test_stats_exposes_shard_queue_depths(self):
+        gated = GatedWorker()
+        with serve_daemon(worker=gated, shards=2) as (daemon, client):
+            t = threading.Thread(target=lambda: client.run(**run_payload()),
+                                 daemon=True)
+            t.start()
+            assert wait_until(lambda: len(gated.calls) == 1)
+            depths = daemon.stats()["shard_queue_depths"]
+            assert depths == [0, 0]              # popped, now in-flight
+            assert len(depths) == 2
+            gated.gate.set()
+            t.join(timeout=30)
+
+
 # ---------------------------------------------------------------------------
 # daemon: real simulations (thread mode, default worker)
 # ---------------------------------------------------------------------------

@@ -11,7 +11,6 @@ from repro.sim.runner import (
     EPOCH_BY_SCALE,
     config_variants,
     make_config,
-    run_sweep,
 )
 
 
@@ -109,12 +108,21 @@ class TestRunnerHelpers:
         assert EPOCH_BY_SCALE["ci"] < EPOCH_BY_SCALE["bench"] <= \
             EPOCH_BY_SCALE["paper"]
 
-    def test_run_sweep_collects_all(self):
-        with pytest.warns(DeprecationWarning, match="repro.api.sweep"):
-            s = run_sweep("VADD", ["Baseline", "NDP(0.4)"], base=ci_config(),
-                          scale="ci")
-        assert set(s.results) == {"Baseline", "NDP(0.4)"}
-        assert s.speedup("NDP(0.4)") > 0
+    def test_run_sweep_shim_is_gone(self):
+        # The deprecated pre-facade shim was removed; repro.api.sweep is
+        # the one sweep entry point.
+        import repro.sim.runner as runner
+
+        assert not hasattr(runner, "run_sweep")
+        assert not hasattr(runner, "Sweep")
+
+    def test_api_sweep_collects_all(self):
+        from repro import api
+
+        out = api.sweep("VADD", ["Baseline", "NDP(0.4)"], base=ci_config(),
+                        scale="ci", use_store=False)
+        assert set(out.results) == {"Baseline", "NDP(0.4)"}
+        assert out.speedups["NDP(0.4)"] > 0
 
 
 class TestAckBeforeEnd:
