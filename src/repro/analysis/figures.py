@@ -308,7 +308,15 @@ class ExperimentRunner:
         """Fan ``keys`` over a process pool: ``worker(make_arg(key))`` per
         key, ``on_result(key, value)`` per success.  Failed keys (worker
         timeout or crash) are retried once in a fresh pool; whatever still
-        fails is returned for the caller to run serially."""
+        fails is returned for the caller to run serially.
+
+        Concurrency contract (checked by the CONC lint rules): workers
+        are *processes*, so ``worker`` must stay a module-level picklable
+        callable that reaches the simulator only through the ``repro.api``
+        facade / ``_run_cell`` -- never a closure mutating runner state.
+        ``self.stats`` and ``on_result`` run solely on the coordinating
+        thread (future results are consumed here, one at a time), i.e.
+        guarded-by: none -- single-thread access by construction."""
         import concurrent.futures as cf
 
         factory = self._executor_factory or cf.ProcessPoolExecutor

@@ -543,7 +543,7 @@ def serve(*, host: str = "127.0.0.1", port: int = 0, shards: int = 2,
           rate: float = 0.0, burst: float = 16.0, hot_set: int = 64,
           store: str | None = None, use_store: bool = True,
           metrics_out: str | None = None, block: bool = True,
-          progress=None):
+          sanitize: bool = False, progress=None):
     """Start the ``repro serve`` daemon and return the
     :class:`~repro.serve.daemon.ServeDaemon` (see ``docs/serving.md``).
 
@@ -556,7 +556,13 @@ def serve(*, host: str = "127.0.0.1", port: int = 0, shards: int = 2,
     the foreground until interrupted or ``POST /v1/shutdown``;
     ``block=False`` returns immediately with the daemon running in
     background threads (call ``daemon.stop()`` yourself).
+    ``sanitize=True`` arms the runtime lock sanitizer
+    (:mod:`repro.lint.sanitize`) before the daemon is built -- equivalent
+    to ``REPRO_SANITIZE=1``.
     """
+    if sanitize:
+        from repro.lint.sanitize import install
+        install()
     from repro.serve.daemon import ServeConfig, ServeDaemon
     resolved = store if store is not None else os.environ.get("REPRO_STORE")
     daemon = ServeDaemon(ServeConfig(
@@ -579,12 +585,17 @@ def loadtest(*, url: str, clients: int = 8, requests: int = 4,
              workload: str = "VADD", config: str = "Baseline",
              scale: str = "ci", max_cycles: int = 2_000_000,
              mix: str = "run", out: str | None = None,
-             progress=None) -> dict:
+             sanitize: bool = False, progress=None) -> dict:
     """Hammer a running daemon with the seeded mixed schedule and return
     the report dict (throughput, latency percentiles, coalesce-hit and
     rate-limit deltas; ``out`` writes it as JSON).  See
     ``docs/serving.md`` for the schedule construction and how
-    ``expected_duplicates`` is derived."""
+    ``expected_duplicates`` is derived.  ``sanitize=True`` arms the
+    runtime lock sanitizer in *this* process, which checks the daemon
+    when it shares the process (``api.serve(block=False)`` harnesses)."""
+    if sanitize:
+        from repro.lint.sanitize import install
+        install()
     from repro.serve.loadtest import run_loadtest
     return run_loadtest(url=url, clients=clients, requests=requests,
                         duplicates=duplicates, seed=seed, workload=workload,
@@ -595,12 +606,31 @@ def loadtest(*, url: str, clients: int = 8, requests: int = 4,
 # -- static analysis ----------------------------------------------------------
 
 def lint(paths=("src/repro",), *, baseline=None, use_baseline: bool = True,
-         update_baseline: bool = False, rules=None):
+         update_baseline: bool = False, rules=None,
+         changed: str | None = None, fix_stale: bool = False,
+         dry_run: bool = False):
     """Run the :mod:`repro.lint` static analyzer over ``paths`` and return
     a :class:`~repro.lint.runner.LintReport` (``report.exit_code`` is 0
     only when no non-baselined finding remains).  See
     ``docs/static-analysis.md`` for the rule catalogue, the suppression
-    syntax and the baseline workflow."""
+    syntax and the baseline workflow.
+
+    ``changed`` limits analysis to files touched vs that git ref (the CLI
+    default is ``HEAD`` when ``--changed`` is given bare).  ``fix_stale``
+    removes the suppressions LINT002 reported and re-lints;
+    ``dry_run=True`` only records the would-be diffs on
+    ``report.stale_fix``."""
     from repro.lint import run_lint
-    return run_lint(paths, baseline=baseline, use_baseline=use_baseline,
-                    update_baseline=update_baseline, rules=rules)
+    from repro.lint.fixes import fix_stale as _fix_stale
+    report = run_lint(paths, baseline=baseline, use_baseline=use_baseline,
+                      update_baseline=update_baseline, rules=rules,
+                      changed=changed)
+    if fix_stale:
+        result = _fix_stale(report, dry_run=dry_run)
+        if result.applied:
+            report = run_lint(paths, baseline=baseline,
+                              use_baseline=use_baseline,
+                              update_baseline=update_baseline, rules=rules,
+                              changed=changed)
+        report.stale_fix = result
+    return report

@@ -361,10 +361,16 @@ def cmd_lint(args) -> int:
 
     rules = ([r.strip() for r in args.rules.split(",") if r.strip()]
              if args.rules else None)
-    report = api.lint(args.paths or ("src/repro",),
-                      baseline=args.baseline,
-                      use_baseline=not args.no_baseline,
-                      update_baseline=args.update_baseline, rules=rules)
+    try:
+        report = api.lint(args.paths or ("src/repro",),
+                          baseline=args.baseline,
+                          use_baseline=not args.no_baseline,
+                          update_baseline=args.update_baseline, rules=rules,
+                          changed=args.changed, fix_stale=args.fix_stale,
+                          dry_run=args.dry_run)
+    except ValueError as e:  # bad --changed ref / not a git checkout
+        print(str(e.args[0]) if e.args else str(e), file=sys.stderr)
+        return 2
     if args.format == "json":
         print(render_json(report.findings, report.files))
     else:
@@ -372,6 +378,16 @@ def cmd_lint(args) -> int:
         if report.updated_baseline:
             print(f"baseline: wrote {report.baseline_entries} entries to "
                   f"{report.baseline_path}")
+        fix = report.stale_fix
+        if fix is not None:
+            if args.dry_run:
+                for diff in fix.diffs.values():
+                    print(diff, end="")
+                print(f"fix-stale (dry run): would remove {fix.removed} "
+                      f"stale suppression(s) in {fix.files} file(s)")
+            else:
+                print(f"fix-stale: removed {fix.removed} stale "
+                      f"suppression(s) in {fix.files} file(s)")
     return report.exit_code
 
 
@@ -474,7 +490,8 @@ def cmd_serve(args) -> int:
                   queue_depth=args.queue_depth, rate=args.rate,
                   burst=args.burst, hot_set=args.hot_set,
                   store=args.store, use_store=not args.no_store,
-                  metrics_out=args.metrics_out, progress=print)
+                  metrics_out=args.metrics_out, sanitize=args.sanitize,
+                  progress=print)
     except OSError as e:
         print(str(e.args[0]) if e.args else str(e), file=sys.stderr)
         return 2
@@ -489,7 +506,7 @@ def cmd_loadtest(args) -> int:
             duplicates=args.duplicates, seed=args.seed,
             workload=args.workload, config=args.config, scale=args.scale,
             max_cycles=args.max_cycles, mix=args.mix, out=args.out,
-            progress=print)
+            sanitize=args.sanitize, progress=print)
     except OSError as e:
         print(f"loadtest failed against {args.url}: "
               f"{e.args[0] if e.args else e}", file=sys.stderr)
@@ -654,6 +671,15 @@ def build_parser() -> argparse.ArgumentParser:
                     help="rewrite the baseline from the current findings")
     pl.add_argument("--rules", metavar="IDS",
                     help="comma-separated rule ids to run (default: all)")
+    pl.add_argument("--changed", nargs="?", const="HEAD", metavar="REF",
+                    help="lint only files touched vs a git ref "
+                         "(default HEAD when the flag is given bare)")
+    pl.add_argument("--fix-stale", action="store_true",
+                    help="remove the suppressions LINT002 reports as "
+                         "stale, then re-lint")
+    pl.add_argument("--dry-run", action="store_true",
+                    help="with --fix-stale: print the diff instead of "
+                         "rewriting files")
     pl.set_defaults(fn=cmd_lint)
 
     pb = sub.add_parser("bench")
@@ -749,6 +775,10 @@ def build_parser() -> argparse.ArgumentParser:
     pv.add_argument("--metrics-out", metavar="OUT.jsonl",
                     help="export serve.* counters as a JSONL metrics "
                          "stream on shutdown")
+    pv.add_argument("--sanitize", action="store_true",
+                    help="arm the runtime lock sanitizer (same as "
+                         "REPRO_SANITIZE=1): guarded-by assertions, "
+                         "lock-order checks, sanitize.* metrics")
     pv.set_defaults(fn=cmd_serve)
 
     plt = sub.add_parser("loadtest")
@@ -779,6 +809,10 @@ def build_parser() -> argparse.ArgumentParser:
     plt.add_argument("--expect-rejections", action="store_true",
                      help="exit 0 even when some requests were rejected "
                           "(rate-limit probing)")
+    plt.add_argument("--sanitize", action="store_true",
+                     help="arm the runtime lock sanitizer in this process "
+                          "(checks an in-process daemon; same as "
+                          "REPRO_SANITIZE=1)")
     plt.set_defaults(fn=cmd_loadtest)
 
     pre = sub.add_parser("report")

@@ -1,0 +1,106 @@
+"""Auto-fixes for lint meta findings: ``repro lint --fix-stale``.
+
+LINT002 marks a suppression that no finding matched -- dead weight that
+hides future regressions at the same site.  :func:`fix_stale` rewrites
+the reported files to drop exactly those markers:
+
+* a **trailing** suppression is cut from the ``#`` of its marker to the
+  end of the line (the code before it is untouched);
+* a **standalone** suppression line is deleted together with the
+  comment-only continuation lines between it and its target statement
+  (they are part of the suppression block per the grammar in
+  :mod:`repro.lint.core`).
+
+With ``dry_run=True`` nothing is written; the result carries a unified
+diff per file so ``repro lint --fix-stale --dry-run`` can show what
+would change.
+"""
+
+from __future__ import annotations
+
+import difflib
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.core import parse_suppressions
+from repro.lint.runner import LintReport
+
+__all__ = ["StaleFixResult", "fix_stale"]
+
+_MARKER_RE = re.compile(r"#\s*lint:\s*ignore\[")
+
+
+@dataclass
+class StaleFixResult:
+    """What :func:`fix_stale` removed (or would remove)."""
+
+    removed: int = 0                 # suppression markers dropped
+    applied: bool = False            # False under dry_run
+    #: display path -> unified diff of the rewrite
+    diffs: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def files(self) -> int:
+        return len(self.diffs)
+
+
+def _drop_suppression(lines: list[str], sup) -> list[str]:
+    """Return ``lines`` with one parsed suppression removed.  Line
+    numbers are 1-based; ``lines`` keep their terminators stripped."""
+    if sup.standalone:
+        # Marker line plus its comment-only continuation block
+        # (everything up to, excluding, the target statement line).
+        return lines[:sup.line - 1] + lines[sup.target - 1:]
+    text = lines[sup.line - 1]
+    m = _MARKER_RE.search(text)
+    if m is None:                    # already edited away
+        return lines
+    kept = text[:m.start()].rstrip()
+    out = list(lines)
+    if kept:
+        out[sup.line - 1] = kept
+    else:
+        del out[sup.line - 1]
+    return out
+
+
+def fix_stale(report: LintReport, *, dry_run: bool = False) -> StaleFixResult:
+    """Remove every suppression behind a LINT002 finding in ``report``.
+
+    Files are re-read and re-parsed at fix time, so the rewrite targets
+    the suppression *as it exists on disk*; stale line numbers from an
+    outdated report are skipped rather than guessed at.
+    """
+    result = StaleFixResult()
+    by_path: dict[str, list[int]] = {}
+    for f in report.findings:
+        if f.rule == "LINT002":
+            by_path.setdefault(f.path, []).append(f.line)
+
+    for shown, marker_lines in sorted(by_path.items()):
+        real = Path(report.real_paths.get(shown, shown))
+        if not real.is_file():
+            continue
+        original = real.read_text()
+        lines = original.splitlines()
+        # Re-parse and drop bottom-up so earlier markers keep their
+        # line numbers while later ones are excised.
+        sups = [s for s in parse_suppressions(original)
+                if s.line in set(marker_lines)]
+        for sup in sorted(sups, key=lambda s: s.line, reverse=True):
+            lines = _drop_suppression(lines, sup)
+            result.removed += 1
+        fixed = "\n".join(lines)
+        if original.endswith("\n"):
+            fixed += "\n"
+        if fixed == original:
+            continue
+        result.diffs[shown] = "".join(difflib.unified_diff(
+            original.splitlines(keepends=True),
+            fixed.splitlines(keepends=True),
+            fromfile=f"a/{shown}", tofile=f"b/{shown}"))
+        if not dry_run:
+            real.write_text(fixed)
+    result.applied = not dry_run and bool(result.diffs)
+    return result

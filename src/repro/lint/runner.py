@@ -11,6 +11,7 @@ from pathlib import Path
 
 from repro.lint.baseline import (DEFAULT_BASELINE, apply_baseline,
                                  load_baseline, write_baseline)
+from repro.lint.concurrency import CONCURRENCY_RULES
 from repro.lint.core import Finding, FileContext, Rule
 from repro.lint.determinism import DETERMINISM_RULES
 from repro.lint.facade import FACADE_RULES
@@ -21,7 +22,7 @@ __all__ = ["ALL_RULES", "LintReport", "run_lint"]
 
 #: Every shipped rule class, in reporting-id order.
 ALL_RULES: tuple[type[Rule], ...] = (
-    DETERMINISM_RULES + PROTOCOL_RULES + FACADE_RULES)
+    DETERMINISM_RULES + PROTOCOL_RULES + FACADE_RULES + CONCURRENCY_RULES)
 
 
 @dataclass
@@ -34,6 +35,11 @@ class LintReport:
     baseline_path: str | None = None
     baseline_entries: int = 0
     updated_baseline: bool = False
+    #: display path -> absolute path for every linted file (``--fix-stale``
+    #: rewrites through this map).
+    real_paths: dict[str, str] = field(default_factory=dict)
+    #: the StaleFixResult when api.lint ran with ``fix_stale``.
+    stale_fix: object | None = None
 
     @property
     def live(self) -> list[Finding]:
@@ -80,6 +86,28 @@ def _module_name(path: Path) -> str:
     return parts[-1] if parts else str(path)
 
 
+def _changed_files(ref: str) -> set[Path]:
+    """Absolute paths touched vs ``ref`` (committed diff + worktree +
+    untracked), for ``repro lint --changed``.  Raises ``ValueError``
+    outside a git checkout or for an unresolvable ref."""
+    import subprocess
+
+    def git(*args: str, cwd=None) -> str:
+        proc = subprocess.run(["git", *args], cwd=cwd, capture_output=True,
+                              text=True)
+        if proc.returncode != 0:
+            raise ValueError(
+                f"--changed {ref}: git {' '.join(args)} failed: "
+                f"{proc.stderr.strip() or proc.stdout.strip()}")
+        return proc.stdout
+
+    top = Path(git("rev-parse", "--show-toplevel").strip())
+    names = git("diff", "--name-only", ref, "--", cwd=top)
+    names += git("ls-files", "--others", "--exclude-standard", cwd=top)
+    return {(top / line.strip()).resolve()
+            for line in names.splitlines() if line.strip()}
+
+
 def _default_baseline(project: Project | None) -> Path | None:
     """<repo-root>/.repro-lint-baseline.json, when the package root is
     a conventional src/repro checkout."""
@@ -93,18 +121,23 @@ def _default_baseline(project: Project | None) -> Path | None:
 def run_lint(paths, *, project: Project | None = None,
              baseline: Path | str | None = None, use_baseline: bool = True,
              update_baseline: bool = False,
-             rules=None) -> LintReport:
+             rules=None, changed: str | None = None) -> LintReport:
     """Lint ``paths`` (files or directories).
 
     ``project`` overrides contract discovery (tests);  ``baseline``
     overrides the default ``<repo-root>/.repro-lint-baseline.json``;
     ``use_baseline=False`` ignores any baseline; ``update_baseline``
     rewrites the baseline from the current findings and reports clean.
-    ``rules`` restricts to an iterable of rule ids.
+    ``rules`` restricts to an iterable of rule ids.  ``changed`` is a git
+    ref: only files touched vs that ref are linted (contract discovery
+    still sees the full set, so project-wide rules keep their context).
     """
     files = _collect_files(paths)
     if project is None:
         project = discover_project(files)
+    if changed is not None:
+        touched = _changed_files(changed)
+        files = [f for f in files if f in touched]
     bpath = Path(baseline) if baseline else _default_baseline(project)
     # Display (and baseline-key) paths are repo-root-relative so a lint
     # run from anywhere produces identical keys.
@@ -146,7 +179,9 @@ def run_lint(paths, *, project: Project | None = None,
         findings.extend(ctx.findings)
 
     report = LintReport(findings=findings, files=len(files),
-                        project_root=project.root if project else None)
+                        project_root=project.root if project else None,
+                        real_paths={c.path: c.real_path for c in contexts
+                                    if c.real_path})
     if bpath is not None and use_baseline:
         report.baseline_path = str(bpath)
         if update_baseline:

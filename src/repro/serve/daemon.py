@@ -70,7 +70,7 @@ class _HotSet:
 
     def __init__(self, capacity: int) -> None:
         self.capacity = max(0, int(capacity))
-        self._d: OrderedDict[str, dict] = OrderedDict()
+        self._d: OrderedDict[str, dict] = OrderedDict()   # guarded-by: _lock
         self._lock = threading.Lock()
 
     def get(self, key: str) -> dict | None:
@@ -124,7 +124,10 @@ class ServeDaemon:
         self._server: _Server | None = None
         self._server_thread: threading.Thread | None = None
         self._dispatcher: threading.Thread | None = None
-        self._stopping = False
+        # _stopping is an Event (not a lock-guarded bool) so healthz/stats
+        # snapshots read it without taking _stop_lock; _stop_lock only
+        # serializes the shutdown sequence itself.
+        self._stopping = threading.Event()
         self._stop_lock = threading.Lock()
         self._stopped = threading.Event()
 
@@ -167,12 +170,16 @@ class ServeDaemon:
         # ``_stopped`` is set only once shutdown has *finished* (metrics
         # flushed, workers retired) -- ``wait()`` returning early would
         # let the foreground process exit and kill the stop thread
-        # mid-drain.  A second caller blocks until the first completes.
+        # mid-drain.  The test-and-set under ``_stop_lock`` elects one
+        # shutdown owner; losers wait for it *outside* the lock (blocking
+        # while holding it would stall every later caller behind a
+        # 30 s wait -- the CONC002 shape).
         with self._stop_lock:
-            if self._stopping:
-                self._stopped.wait(timeout=30.0)
-                return
-            self._stopping = True
+            first = not self._stopping.is_set()
+            self._stopping.set()
+        if not first:
+            self._stopped.wait(timeout=30.0)
+            return
         self.queue.close()
         for job in self.queue.drain():
             self.coalescer.resolve(
@@ -183,6 +190,11 @@ class ServeDaemon:
         if self._dispatcher is not None:
             self._dispatcher.join(timeout=5.0)
         self.pool.shutdown()
+        from repro.lint import sanitize
+        if sanitize.installed():
+            for name, n in sorted(sanitize.counters().items()):
+                if n:
+                    self._count(name, n)
         if self.config.metrics_out:
             self.registry.meta = {"role": "serve",
                                   "address": self.address or ""}
@@ -360,7 +372,7 @@ class ServeDaemon:
     # -- introspection -------------------------------------------------------
 
     def healthz(self) -> dict:
-        return {"ok": not self._stopping,
+        return {"ok": not self._stopping.is_set(),
                 "queue_depth": self.queue.depth,
                 "inflight": self.coalescer.inflight(),
                 "shards": self.pool.shards,
@@ -369,7 +381,7 @@ class ServeDaemon:
     def stats(self) -> dict:
         latency = self.registry.histograms.get("serve.latency.ms")
         return {
-            "ok": not self._stopping,
+            "ok": not self._stopping.is_set(),
             "queue_depth": self.queue.depth,
             "inflight": self.coalescer.inflight(),
             "coalesce_hits": self.coalescer.hits,
@@ -472,3 +484,11 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             status, body = d.handle(kind, payload, str(client))
         self._send(status, body)
+
+
+# Arm the runtime lock sanitizer when REPRO_SANITIZE=1 (a getenv
+# otherwise).  At module bottom so every serve class above is patched
+# before the first instance is built.
+from repro.lint.sanitize import maybe_install as _maybe_sanitize  # noqa: E402
+
+_maybe_sanitize()

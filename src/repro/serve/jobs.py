@@ -72,11 +72,11 @@ class JobQueue:
 
     def __init__(self, max_depth: int = 1024) -> None:
         self.max_depth = max(1, int(max_depth))
-        self._lanes: dict[str, deque[Job]] = {}
-        self._order: list[str] = []        # lane round-robin order
-        self._cursor = 0                   # next lane index to serve
-        self._depth = 0
-        self._closed = False
+        self._lanes: dict[str, deque[Job]] = {}   # guarded-by: _lock
+        self._order: list[str] = []        # guarded-by: _lock
+        self._cursor = 0                   # guarded-by: _lock
+        self._depth = 0                    # guarded-by: _lock
+        self._closed = False               # guarded-by: _lock
         self._lock = threading.Lock()
         self._ready = threading.Condition(self._lock)
 
@@ -158,9 +158,11 @@ class Coalescer:
     warm cache instead)."""
 
     def __init__(self) -> None:
-        self._inflight: dict[str, Job] = {}
+        self._inflight: dict[str, Job] = {}   # guarded-by: _lock
         self._lock = threading.Lock()
-        self.hits = 0                  # coalesced duplicate admissions
+        # Monotonic int bumped under _lock but read bare by the daemon's
+        # /v1/stats snapshot; a torn read costs nothing.
+        self.hits = 0  # guarded-by: none -- stats counter, racy read is fine
 
     def admit(self, job: Job) -> tuple[Job, bool]:
         with self._lock:

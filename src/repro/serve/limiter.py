@@ -25,9 +25,10 @@ class TokenBucket:
         self.rate = float(rate)
         self.burst = max(1.0, float(burst))
         self._clock = clock
-        self._buckets: dict[str, tuple[float, float]] = {}  # tokens, stamp
+        # (tokens, stamp) per client id
+        self._buckets: dict[str, tuple[float, float]] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
-        self.rejections = 0
+        self.rejections = 0  # guarded-by: none -- stats counter, racy read is fine
 
     @property
     def enabled(self) -> bool:

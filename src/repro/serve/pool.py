@@ -64,12 +64,27 @@ class ShardPool:
         self.job_timeout = float(job_timeout)
         self.worker = worker or execute_job
         self._count = on_counter or (lambda name, n=1: None)
+        self._lock = threading.Lock()
+        # Bumped concurrently by every shard thread's _replace_executor;
+        # unlike the daemon's snapshot counters this one feeds the
+        # serve.worker.restarts metric, so lost increments would break
+        # the exactly-once accounting tests.
+        self._restarts = 0                 # guarded-by: _lock
         self._shards = [_Shard(i, self) for i in range(max(1, int(shards)))]
-        self.restarts = 0
 
     @property
     def shards(self) -> int:
         return len(self._shards)
+
+    @property
+    def restarts(self) -> int:
+        with self._lock:
+            return self._restarts
+
+    def note_restart(self) -> None:
+        """Called from shard threads on worker replacement."""
+        with self._lock:
+            self._restarts += 1
 
     def shard_of(self, key: str) -> int:
         """Stable shard index from the leading key bytes (content-derived
@@ -132,7 +147,7 @@ class _Shard:
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
-        self.pool.restarts += 1
+        self.pool.note_restart()
         self.pool._count("serve.worker.restarts")
 
     # -- the shard loop ------------------------------------------------------

@@ -65,6 +65,9 @@ KNOWN_METRICS = frozenset({
     "explore.*",
     # simulation-as-a-service daemon (repro serve) counters/latencies
     "serve.*",
+    # runtime lock-sanitizer counters (repro.lint.sanitize, armed via
+    # REPRO_SANITIZE=1)
+    "sanitize.*",
 })
 
 

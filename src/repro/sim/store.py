@@ -123,9 +123,14 @@ class ResultStore:
     def __init__(self, root: str) -> None:
         self.root = os.path.abspath(os.path.expanduser(str(root)))
         os.makedirs(self.root, exist_ok=True)
-        self.hits = 0
-        self.misses = 0
-        self.corrupt = 0
+        # Concurrency contract: stores are shared *across processes* via
+        # atomic renames and O_EXCL reservation files, never via
+        # in-process locks -- each thread/process binds its own
+        # ResultStore.  The counters below are per-instance diagnostics,
+        # not shared state.
+        self.hits = 0     # guarded-by: none -- per-instance diagnostic
+        self.misses = 0   # guarded-by: none -- per-instance diagnostic
+        self.corrupt = 0  # guarded-by: none -- per-instance diagnostic
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key + ".json")

@@ -1,0 +1,20 @@
+"""CONC001 known-bad: guarded attributes touched without the lock."""
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._total = 0           # guarded-by: _lock
+        self._high = 0            # inferred guard: assigned under _lock below
+        self._lock = threading.Lock()
+
+    def ok(self, x):
+        with self._lock:
+            self._total += 1
+            self._high = max(self._high, x)
+
+    def racy_read(self):
+        return self._total        # BAD: explicit guard, no lock held
+
+    def racy_write(self, x):
+        self._high = x            # BAD: inferred guard, no lock held

@@ -1,0 +1,24 @@
+"""CONC001 known-good: every guarded access holds the lock, opt-outs
+are annotated, and ``*_locked`` helpers are exempt by convention."""
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._total = 0           # guarded-by: _lock
+        self._pending = []        # guarded-by: _lock
+        self._lock = threading.Lock()
+        self.peeks = 0  # guarded-by: none -- diagnostic, torn reads fine
+
+    def add(self, x):
+        with self._lock:
+            self._pending.append(x)
+            self._bump_locked()
+
+    def _bump_locked(self):
+        self._total += 1          # caller holds _lock (suffix convention)
+
+    def snapshot(self):
+        self.peeks += 1
+        with self._lock:
+            return self._total, list(self._pending)

@@ -1,0 +1,14 @@
+"""CONC002 known-bad: blocking calls while holding a lock."""
+import threading
+import time
+
+
+class Fetcher:
+    def __init__(self):
+        self._cache = {}          # guarded-by: _lock
+        self._lock = threading.Lock()
+
+    def refresh(self, fut):
+        with self._lock:
+            time.sleep(0.1)                 # BAD: sleep under lock
+            self._cache["x"] = fut.result()  # BAD: future wait under lock

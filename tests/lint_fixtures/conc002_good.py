@@ -1,0 +1,15 @@
+"""CONC002 known-good: block first, publish under the lock after."""
+import threading
+import time
+
+
+class Fetcher:
+    def __init__(self):
+        self._cache = {}          # guarded-by: _lock
+        self._lock = threading.Lock()
+
+    def refresh(self, fut):
+        time.sleep(0.1)           # fine: no lock held
+        value = fut.result()      # fine: no lock held
+        with self._lock:
+            self._cache["x"] = value

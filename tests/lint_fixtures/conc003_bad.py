@@ -1,0 +1,16 @@
+"""CONC003 known-bad: Condition misuse."""
+import threading
+
+
+class Mailbox:
+    def __init__(self):
+        self._items = []          # guarded-by: _cv
+        self._cv = threading.Condition()
+
+    def post(self, x):
+        self._cv.notify()         # BAD: notify without holding the lock
+
+    def take(self):
+        with self._cv:
+            self._cv.wait()       # BAD: wait outside a predicate loop
+            return self._items.pop()

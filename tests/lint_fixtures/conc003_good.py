@@ -1,0 +1,19 @@
+"""CONC003 known-good: held notifies, wait in a predicate loop."""
+import threading
+
+
+class Mailbox:
+    def __init__(self):
+        self._items = []          # guarded-by: _cv
+        self._cv = threading.Condition()
+
+    def post(self, x):
+        with self._cv:
+            self._items.append(x)
+            self._cv.notify()
+
+    def take(self):
+        with self._cv:
+            while not self._items:
+                self._cv.wait()
+            return self._items.pop()

@@ -1,0 +1,9 @@
+"""CONC004 known-bad: thread lifecycle left implicit."""
+import threading
+from threading import Thread
+
+
+def fire_and_forget(fn):
+    t = threading.Thread(target=fn)   # BAD: no daemon= decision
+    t.start()
+    Thread(target=fn).start()         # BAD: bare-import form

@@ -1,0 +1,10 @@
+"""CONC004 known-good: every thread declares its lifecycle."""
+import threading
+
+
+def run_workers(fn):
+    bg = threading.Thread(target=fn, daemon=True, name="bg")
+    bg.start()
+    fg = threading.Thread(target=fn, daemon=False, name="fg")
+    fg.start()
+    fg.join()

@@ -1,0 +1,14 @@
+"""CONC005 known-good (linted as a ``repro.serve`` module in tests):
+sanctioned seams and module-level workers only."""
+from repro.sim.store import ResultStore    # sanctioned seam
+
+
+def _worker(payload):
+    from repro import api
+    return api.run(api.RunRequest(**payload))
+
+
+def handle(pool, store_root, payload):
+    store = ResultStore(store_root)
+    if store.get(payload.get("key", "")) is None:
+        pool.submit(_worker, payload)
