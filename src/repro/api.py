@@ -478,7 +478,9 @@ def bench(*, sched: str = "active", suites=("sparse",), quick: bool = False,
           repeats: int = 2, max_cycles: int = 20_000_000,
           backend: str | None = None,
           out: str | None = None, compare: str | None = None,
-          explore_best: str | None = None, progress=None) -> BenchOutcome:
+          explore_best: str | None = None,
+          profile: bool = False, profile_top: int = 15,
+          progress=None) -> BenchOutcome:
     """Run the pinned simulator benchmark grid (:mod:`repro.perf.bench`).
 
     Times the *simulator*, not the simulated machine: every cell builds
@@ -487,13 +489,19 @@ def bench(*, sched: str = "active", suites=("sparse",), quick: bool = False,
     ``compare`` is a previously written report to compute per-cell and
     geomean speedups against.  ``explore_best`` is a ``best_configs.json``
     from :func:`explore`: its rank-1 configuration is timed as one extra
-    labelled cell.  See docs/performance.md.
+    labelled cell.  ``profile`` adds one *untimed* cProfile repeat per
+    cell: the top-``profile_top`` cumulative-time functions land in the
+    report and the full pstats artifact next to it (timed samples are
+    never profiled, so ``wall_s`` stays comparable).  See
+    docs/performance.md.
     """
     from repro.perf import bench as perf
     report = perf.run_bench(sched=sched, suites=suites, quick=quick,
                             repeats=repeats, max_cycles=max_cycles,
                             backend=backend,
-                            explore_best=explore_best, progress=progress)
+                            explore_best=explore_best,
+                            profile_dir=(out or ".") if profile else None,
+                            profile_top=profile_top, progress=progress)
     path = perf.write_report(report, out) if out is not None else None
     comparison = (perf.compare(report, perf.load_report(compare))
                   if compare else None)

@@ -402,21 +402,39 @@ def cmd_bench(args) -> int:
                         backend=args.backend,
                         out=args.out, compare=args.compare,
                         explore_best=args.explore_best,
+                        profile=args.profile, profile_top=args.profile_top,
                         progress=print)
     except (KeyError, ValueError, OSError) as e:
         print(str(e.args[0]) if e.args else str(e), file=sys.stderr)
         return 2
+    if args.profile:
+        for cell in out.report["cells"]:
+            if not cell.get("profile"):
+                continue
+            print(f"\nprofile {cell['workload']}/{cell['config']} "
+                  f"(untimed repeat; full graph: {cell['profile_path']})")
+            print(f"  {'cumtime':>9} {'tottime':>9} {'ncalls':>10}  function")
+            for row in cell["profile"]:
+                print(f"  {row['cumtime']:9.3f} {row['tottime']:9.3f} "
+                      f"{row['ncalls']:>10}  {row['func']}")
     if out.path:
         print(f"wrote {out.path}")
     if out.comparison is not None:
         for line in format_compare(out.comparison):
             print(line)
-        if (args.min_speedup
-                and out.comparison["geomean"] < args.min_speedup):
-            print(f"FAIL: geomean speedup x{out.comparison['geomean']:.2f} "
-                  f"is below the required x{args.min_speedup:.2f}",
-                  file=sys.stderr)
-            return 1
+        if args.min_speedup:
+            # A digest mismatch makes the speedup meaningless, so the
+            # gate fails on it even when the number clears the bar.
+            if not out.comparison["digests_match"]:
+                print("FAIL: result digests differ from the baseline -- "
+                      "the speedup gate requires bit-identical results",
+                      file=sys.stderr)
+                return 1
+            if out.comparison["geomean"] < args.min_speedup:
+                print(f"FAIL: geomean speedup "
+                      f"x{out.comparison['geomean']:.2f} is below the "
+                      f"required x{args.min_speedup:.2f}", file=sys.stderr)
+                return 1
     return 0
 
 
@@ -702,6 +720,13 @@ def build_parser() -> argparse.ArgumentParser:
     pb.add_argument("--explore-best", metavar="FILE",
                     help="best_configs.json from 'repro explore': time its "
                          "rank-1 configuration as one extra cell")
+    pb.add_argument("--profile", action="store_true",
+                    help="add one untimed cProfile repeat per cell: top-N "
+                         "table in the report, pstats artifact in --out "
+                         "(timed samples are never profiled)")
+    pb.add_argument("--profile-top", type=int, default=15, metavar="N",
+                    help="rows kept in the per-cell profile table "
+                         "(default 15)")
     pb.set_defaults(fn=cmd_bench)
 
     px = sub.add_parser("explore")

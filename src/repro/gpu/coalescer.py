@@ -17,7 +17,7 @@ import numpy as np
 from repro.config import LINE_SIZE, WORD_SIZE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemAccess:
     """One coalesced line access of a warp memory instruction."""
 

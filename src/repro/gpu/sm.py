@@ -124,7 +124,7 @@ class SM:
         warp.block_on_reg(reg)
         self.dep_count += 1
         if ready_at != INFLIGHT:
-            self.engine.at(ready_at, lambda: self._timed_wake(warp, reg))
+            self.engine.call_at(ready_at, self._timed_wake, warp, reg)
 
     def _timed_wake(self, warp: Warp, reg: int) -> None:
         if warp.state is WarpState.DEP and warp.waiting_reg == reg:
@@ -201,6 +201,85 @@ class SM:
     def can_issue_now(self) -> bool:
         return bool(self.ready) or (
             bool(self.pending_traces) and len(self.warps) < self.warps_per_sm)
+
+    # -- structural-reject parking (active scheduler) -------------------------
+
+    def _probe_struct(self, warp: Warp, now: int) -> int | None:
+        """Would ``_try_issue(warp)`` be a pure structural load reject
+        this cycle?  Returns ``None`` if the attempt could make progress
+        or have any side effect, else the attempt's per-cycle counter
+        cost: ``1`` for an MSHR-full retry (one L1 miss + one MSHR
+        reject), ``0`` for an inflight-cap spin (no counters touched).
+        Strictly side-effect-free -- a shadow of the issue path."""
+        item = warp.current_item()
+        if item is None:
+            return None                    # would finish the warp
+        if isinstance(item, DynBlock):
+            if warp.mode != "inline":
+                # Offload decision / packet-generation paths have side
+                # effects (decider state, NDP credits); never elide them.
+                return None
+            instr = item.block.instrs[warp.sub_pc]
+            accesses = (item.mem_accesses[warp.mem_seq]
+                        if instr.is_mem else ())
+        else:
+            instr = item.instr
+            accesses = item.accesses
+        reads = instr.reads
+        if reads and warp.srcs_ready_at(reads) > now:
+            return None                    # would block on a dependency
+        if instr.op is not Opcode.LD or not accesses:
+            return None                    # would issue
+        replay = self._replays.get(warp.wid)
+        if replay is None:
+            if warp.inflight_loads >= self.max_inflight_loads:
+                return 0                   # cap spin: rejected pre-counters
+            return None                    # would create a replay and pump
+        if self.memsys.l1_would_reject(self.sm_id,
+                                       replay.remaining[0].line_addr):
+            return 1                       # MSHR-full retry: miss + reject
+        return None                        # pump would make progress
+
+    def struct_park_probe(self) -> int | None:
+        """Shadow-walk this cycle's issue attempt order: if *every* warp
+        the scheduler would try is a pure structural load reject, return
+        the summed per-cycle counter cost (the active scheduler parks the
+        SM and replays ``cost`` L1 misses + MSHR rejects per elided cycle
+        on wake); otherwise return ``None``.
+
+        Mirrors :meth:`_issue` exactly -- GTO current-warp-first, ready
+        insertion order, the ``MAX_ISSUE_ATTEMPTS`` cap -- because the
+        elided cycles must be bit-identical to the legacy scheduler's
+        real retry cycles (docs/performance.md).
+        """
+        if self.pending_traces and len(self.warps) < self.warps_per_sm:
+            return None                    # _launch would make progress
+        ready = self.ready
+        if not ready:
+            return None                    # ordinary idle-park path applies
+        now = self.engine.now
+        cost = 0
+        attempts = 0
+        cur = self.current
+        gto = self.scheduler == "gto"
+        if gto and cur is not None and cur.wid in ready:
+            c = self._probe_struct(cur, now)
+            if c is None:
+                return None
+            cost += c
+            attempts += 1
+        for wid in ready:
+            if attempts >= MAX_ISSUE_ATTEMPTS:
+                break
+            warp = ready[wid]
+            if gto and warp is cur:
+                continue
+            c = self._probe_struct(warp, now)
+            if c is None:
+                return None
+            cost += c
+            attempts += 1
+        return cost
 
     def next_wake(self) -> int | None:
         """Earliest cycle this SM can make progress on its own: ``now + 1``
@@ -488,5 +567,14 @@ class _MemReplay:
 
     def _finish(self) -> None:
         warp = self.warp
+        sm = warp.sm
+        # Wake the SM before any mutation (invariant I1): an inflight-cap
+        # slot is about to free, and a warp spinning on the cap sits in
+        # READY state -- its release does NOT funnel through wake_warp
+        # (resolve_reg only wakes DEP-blocked warps), so a struct-parked
+        # SM would otherwise sleep through it.  Spurious wakes (own-tick
+        # commit path, active SM) are no-ops by design.
+        if sm.waker is not None:
+            sm.waker(sm)
         warp.inflight_loads -= 1
-        warp.resolve_reg(self.dst, warp.sm.engine.now)
+        warp.resolve_reg(self.dst, sm.engine.now)

@@ -37,7 +37,7 @@ OFFLOADABLE = frozenset({Opcode.LD, Opcode.ST, Opcode.ALU})
 MEMORY_OPS = frozenset({Opcode.LD, Opcode.ST})
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Instr:
     """One static instruction.
 

@@ -15,6 +15,7 @@ from repro.lint.concurrency import CONCURRENCY_RULES
 from repro.lint.core import Finding, FileContext, Rule
 from repro.lint.determinism import DETERMINISM_RULES
 from repro.lint.facade import FACADE_RULES
+from repro.lint.perf import PERF_RULES
 from repro.lint.project import Project, discover_project
 from repro.lint.protocol import PROTOCOL_RULES
 
@@ -22,7 +23,8 @@ __all__ = ["ALL_RULES", "LintReport", "run_lint"]
 
 #: Every shipped rule class, in reporting-id order.
 ALL_RULES: tuple[type[Rule], ...] = (
-    DETERMINISM_RULES + PROTOCOL_RULES + FACADE_RULES + CONCURRENCY_RULES)
+    DETERMINISM_RULES + PROTOCOL_RULES + FACADE_RULES + CONCURRENCY_RULES
+    + PERF_RULES)
 
 
 @dataclass

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from repro.config import DRAMTiming, LINE_SIZE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DRAMTimingSM:
     """Table 2 timing converted to integer SM cycles."""
 

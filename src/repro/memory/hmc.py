@@ -15,7 +15,8 @@ from typing import Callable
 from repro.config import LINE_SIZE, SystemConfig
 from repro.memory.address import AddressMap
 from repro.memory.dram import DRAMTimingSM
-from repro.memory.vault import DRAMRequest, DRAMStats, VaultController, make_vaults
+from repro.memory.vault import (DRAMRequest, DRAMRequestPool, DRAMStats,
+                                VaultController, make_vaults)
 from repro.sim.engine import Engine, LinkCounters
 
 #: Fixed logic-layer NoC traversal latency (SM cycles).
@@ -37,9 +38,13 @@ class HMCStack:
             cfg.hmc.timing, cfg.gpu.sm_clock_mhz,
             cfg.hmc.vault_bus_bytes_per_dram_cycle)
         self.timing = timing
+        # Request records are pool-recycled per stack (never shared across
+        # engines); vaults return them after the completion callback.
+        self.pool = DRAMRequestPool()
         self.vaults: list[VaultController] = make_vaults(
             engine, timing, cfg.hmc.num_vaults, cfg.hmc.banks_per_vault,
-            self.stats, cfg.hmc.vault_queue_size, f"hmc{hmc_id}")
+            self.stats, cfg.hmc.vault_queue_size, f"hmc{hmc_id}",
+            pool=self.pool)
         # Attached by the system after construction:
         self.nsu = None
 
@@ -65,10 +70,10 @@ class HMCStack:
         vault_idx = self.amap.vault_of_line(line_addr)
         bank, row = self.amap.bank_row_of_line(line_addr)
         self.counters.add("intra_hmc", noc_bytes)
-        req = DRAMRequest(line_addr=line_addr, is_write=is_write,
-                          on_done=on_done, bank=bank, row=row,
-                          extra_latency=NOC_LATENCY, meta=meta,
-                          on_lost=on_lost)
+        req = self.pool.acquire(line_addr, is_write, on_done,
+                                bank=bank, row=row,
+                                extra_latency=NOC_LATENCY, meta=meta,
+                                on_lost=on_lost)
         self.vaults[vault_idx].submit(req)
 
     # -- convenience --------------------------------------------------------
@@ -83,6 +88,8 @@ class HMCStack:
         snap["queue_occupancy"] = self.queue_occupancy
         snap["max_vault_queue"] = max(
             (len(v.queue) for v in self.vaults), default=0)
+        snap["req_pool_free"] = self.pool.free
+        snap["req_pool_created"] = self.pool.created
         return snap
 
     def peak_bandwidth_bytes_per_cycle(self) -> float:

@@ -13,11 +13,21 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from itertools import islice
 from typing import Callable
+
+try:                              # vectorized FR-FCFS scan (optional)
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
 
 from repro.config import LINE_SIZE
 from repro.memory.dram import BankState, DRAMTimingSM
 from repro.sim.engine import Engine
+
+#: Window size at which the numpy FR-FCFS scan beats the Python loop.
+#: Below this the per-call array setup dominates; the scalar scan stays.
+VEC_PICK_THRESHOLD = 24
 
 
 @dataclass
@@ -53,19 +63,102 @@ class DRAMStats:
                 "queue_peak": self.queue_peak, "refreshes": self.refreshes}
 
 
-@dataclass
+@dataclass(slots=True)
 class DRAMRequest:
-    """One line-granularity DRAM access."""
+    """One line-granularity DRAM access.
+
+    Slotted and pool-recycled: the stack's ingress path acquires records
+    from a :class:`DRAMRequestPool` and the vault returns them after the
+    completion callback fires.  ``pooled`` marks pool-owned records;
+    directly-constructed ones (tests, ad-hoc callers) are never recycled.
+    """
 
     line_addr: int
     is_write: bool
-    on_done: Callable[["DRAMRequest"], None]
+    on_done: Callable[["DRAMRequest"], None] | None
     arrival: int = 0
     bank: int = 0
     row: int = 0
     extra_latency: int = 0   # logic-layer NoC traversal after the access
     meta: object = None
     on_lost: Callable[["DRAMRequest"], None] | None = None  # loss notify
+    pooled: bool = False
+
+    def reset(self) -> None:
+        """Restore construction defaults, so a recycled record is
+        field-for-field equal to ``DRAMRequest(0, False, None)`` (the
+        recycle invariant, docs/performance.md)."""
+        self.line_addr = 0
+        self.is_write = False
+        self.on_done = None
+        self.arrival = 0
+        self.bank = 0
+        self.row = 0
+        self.extra_latency = 0
+        self.meta = None
+        self.on_lost = None
+        self.pooled = False
+
+
+class DRAMRequestPool:
+    """Free list of recycled :class:`DRAMRequest` records.
+
+    One pool per stack (never shared across engines -- serve shards run
+    concurrent simulations).  ``release`` resets the record before it
+    re-enters the free list and rejects records it does not own, so a
+    double-free on a recovery path fails loudly instead of aliasing two
+    in-flight requests onto one record.
+    """
+
+    __slots__ = ("_free", "created", "reused", "released")
+
+    def __init__(self) -> None:
+        self._free: list[DRAMRequest] = []
+        self.created = 0
+        self.reused = 0
+        self.released = 0
+
+    def acquire(self, line_addr: int, is_write: bool,
+                on_done: Callable[["DRAMRequest"], None], *,
+                bank: int = 0, row: int = 0, extra_latency: int = 0,
+                meta: object = None,
+                on_lost: Callable[["DRAMRequest"], None] | None = None,
+                ) -> DRAMRequest:
+        free = self._free
+        if free:
+            req = free.pop()
+            self.reused += 1
+            req.line_addr = line_addr
+            req.is_write = is_write
+            req.on_done = on_done
+            req.bank = bank
+            req.row = row
+            req.extra_latency = extra_latency
+            req.meta = meta
+            req.on_lost = on_lost
+            req.pooled = True
+            return req
+        self.created += 1
+        return DRAMRequest(line_addr, is_write, on_done, bank=bank, row=row,
+                           extra_latency=extra_latency, meta=meta,
+                           on_lost=on_lost, pooled=True)
+
+    def release(self, req: DRAMRequest) -> None:
+        if not req.pooled:
+            raise ValueError(
+                "release of a request the pool does not own "
+                "(double-free, or a directly-constructed record)")
+        req.reset()
+        self.released += 1
+        self._free.append(req)
+
+    @property
+    def free(self) -> int:
+        return len(self._free)
+
+    def metrics_snapshot(self) -> dict:
+        return {"created": self.created, "reused": self.reused,
+                "released": self.released, "free": self.free}
 
 
 class VaultController:
@@ -73,10 +166,12 @@ class VaultController:
 
     def __init__(self, engine: Engine, timing: DRAMTimingSM,
                  num_banks: int, stats: DRAMStats,
-                 queue_size: int = 64, name: str = "vault") -> None:
+                 queue_size: int = 64, name: str = "vault",
+                 pool: DRAMRequestPool | None = None) -> None:
         self.engine = engine
         self.timing = timing
         self.banks = [BankState() for _ in range(num_banks)]
+        self.pool = pool
         self.stats = stats
         self.queue: deque[DRAMRequest] = deque()
         self.queue_size = queue_size
@@ -126,13 +221,25 @@ class VaultController:
         Returns ``(index, horizon)``: index is None when every windowed
         bank is busy, in which case ``horizon`` is the earliest cycle a
         windowed bank frees up.
+
+        Deep windows run a vectorized scan; shallow ones keep the Python
+        loop.  Both make the identical decision (row-hit / free-bank /
+        horizon all resolve by queue age), so the dispatch threshold can
+        never change a simulation result -- pinned by the randomized
+        equivalence test in ``tests/test_memory.py``.
         """
+        n = len(self.queue)
+        if n > self.queue_size:
+            n = self.queue_size
+        if _np is not None and n >= VEC_PICK_THRESHOLD:
+            return self._pick_index_vec(now, n)
+        return self._pick_index_scalar(now, n)
+
+    def _pick_index_scalar(self, now: int, n: int) -> tuple[int | None, int]:
         fallback = None
         horizon = 1 << 62
         banks = self.banks
-        for idx, req in enumerate(self.queue):
-            if idx >= self.queue_size:
-                break
+        for idx, req in enumerate(islice(self.queue, n)):
             bank = banks[req.bank]
             busy = bank.busy_until
             if busy > now:
@@ -146,6 +253,37 @@ class VaultController:
         if fallback is not None:
             return fallback, now
         return None, horizon
+
+    def _pick_index_vec(self, now: int, n: int) -> tuple[int | None, int]:
+        """Price the whole scheduler window in one numpy pass.
+
+        Bank state is gathered fresh from the ``BankState`` objects every
+        call (16 banks), so direct mutation of ``self.banks`` -- tests,
+        refresh, fault paths -- is always observed.  ``argmax`` on a bool
+        array yields the first True, i.e. the oldest matching request,
+        which is exactly the scalar scan's age order.
+        """
+        banks = self.banks
+        nb = len(banks)
+        b_busy = _np.empty(nb, dtype=_np.int64)
+        b_row = _np.empty(nb, dtype=_np.int64)
+        for i, bank in enumerate(banks):
+            b_busy[i] = bank.busy_until
+            row = bank.open_row
+            b_row[i] = -1 if row is None else row   # rows are non-negative
+        req_bank = _np.empty(n, dtype=_np.intp)
+        req_row = _np.empty(n, dtype=_np.int64)
+        for i, req in enumerate(islice(self.queue, n)):
+            req_bank[i] = req.bank
+            req_row[i] = req.row
+        busy = b_busy[req_bank]
+        free = busy <= now
+        if not free.any():
+            return None, int(busy.min())
+        hits = free & (b_row[req_bank] == req_row)
+        if hits.any():
+            return int(hits.argmax()), now
+        return int(free.argmax()), now
 
     def _take(self, idx: int) -> DRAMRequest:
         q = self.queue
@@ -213,20 +351,36 @@ class VaultController:
                 # response would have arrived and may reissue; the rest
                 # rely on their own watchdogs.
                 if req.on_lost is not None:
-                    self.engine.at(ready + req.extra_latency,
-                                   lambda r=req: r.on_lost(r))
+                    self.engine.call_at(ready + req.extra_latency,
+                                        self._lost, req)
+                elif req.pooled:
+                    # Nobody will hear about this request again; recycle.
+                    self.pool.release(req)
                 continue
-            self.engine.at(ready + req.extra_latency,
-                           lambda r=req: r.on_done(r))
+            self.engine.call_at(ready + req.extra_latency,
+                                self._complete, req)
             now = self.engine.now  # unchanged; loop to try the next request
         # queue drained; nothing to schedule
+
+    # -- completion ----------------------------------------------------------
+
+    def _complete(self, req: DRAMRequest) -> None:
+        req.on_done(req)
+        if req.pooled:
+            self.pool.release(req)
+
+    def _lost(self, req: DRAMRequest) -> None:
+        req.on_lost(req)
+        if req.pooled:
+            self.pool.release(req)
 
 
 def make_vaults(engine: Engine, timing: DRAMTimingSM, num_vaults: int,
                 num_banks: int, stats: DRAMStats, queue_size: int,
-                name_prefix: str) -> list[VaultController]:
+                name_prefix: str,
+                pool: DRAMRequestPool | None = None) -> list[VaultController]:
     return [
         VaultController(engine, timing, num_banks, stats, queue_size,
-                        name=f"{name_prefix}.v{v}")
+                        name=f"{name_prefix}.v{v}", pool=pool)
         for v in range(num_vaults)
     ]

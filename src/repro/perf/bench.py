@@ -25,9 +25,12 @@ measured legacy-vs-active speedups.
 
 from __future__ import annotations
 
+import cProfile
 import json
 import math
 import os
+import pstats
+import re
 import subprocess
 import sys
 import tempfile
@@ -89,6 +92,8 @@ class BenchCell:
     events_processed: int = 0
     instructions: int = 0
     digest: str = ""
+    profile: list[dict] = field(default_factory=list)   # --profile top-N
+    profile_path: str = ""                              # pstats artifact
 
     def key(self) -> tuple:
         """Identity for cross-revision comparison (sched-independent:
@@ -109,13 +114,52 @@ def git_rev() -> str:
         return "local"
 
 
+def _profile_cell(workload: str, config: str, base, *, sched: str,
+                  max_cycles: int, label: str, profile_dir: str,
+                  top: int) -> tuple[list[dict], str]:
+    """Run one *extra* instrumented repeat of a cell under cProfile.
+
+    Kept out of the timed region entirely: interpreter tracing skews
+    wall clock by 2-4x, so profiled samples must never feed ``wall_s``
+    (and thereby ``--compare``).  Returns the top-``top`` functions by
+    cumulative time plus the path of the dumped pstats artifact, which
+    holds the full call graph for ``python -m pstats`` / snakeviz.
+    """
+    system = build_system(workload, config, base=base,
+                          scale=BENCH_SCALE, sched=sched)
+    prof = cProfile.Profile()
+    prof.enable()
+    system.run(max_cycles=max_cycles)
+    prof.disable()
+    stats = pstats.Stats(prof)
+    slug = re.sub(r"[^A-Za-z0-9]+", "_",
+                  f"{workload}_{label}_{base.gpu.num_sms}_{sched}").strip("_")
+    os.makedirs(profile_dir, exist_ok=True)
+    path = os.path.join(profile_dir, f"PROF_{git_rev()}_{slug}.pstats")
+    stats.dump_stats(path)
+    rows = []
+    entries = sorted(stats.stats.items(), key=lambda kv: kv[1][3],
+                     reverse=True)
+    for (fname, line, func), (cc, nc, tt, ct, _callers) in entries[:top]:
+        rows.append({
+            "func": f"{os.path.basename(fname)}:{line}({func})",
+            "ncalls": nc,
+            "tottime": round(tt, 4),
+            "cumtime": round(ct, 4),
+        })
+    return rows, path
+
+
 def _run_cell(workload: str, config: str, num_sms: int | None, *,
               sched: str, repeats: int, max_cycles: int,
-              base=None, label: str | None = None) -> BenchCell:
+              base=None, label: str | None = None,
+              profile_dir: str | None = None,
+              profile_top: int = 15) -> BenchCell:
     """Time one cell.  ``base`` overrides the paper configuration (the
     explore-best cell carries its own); ``label`` overrides the recorded
     config name so extra cells never collide with pinned-grid identities
-    in ``--compare``."""
+    in ``--compare``.  ``profile_dir`` adds one untimed cProfile repeat
+    per cell (see :func:`_profile_cell`)."""
     if base is None:
         base = paper_config()
     if num_sms:
@@ -137,6 +181,13 @@ def _run_cell(workload: str, config: str, num_sms: int | None, *,
     wall = min(walls)
     total_cycles = result.cycles
     sm_ticks = int(sched_stats.get("sm_ticks", 0))
+    prof_rows: list[dict] = []
+    prof_path = ""
+    if profile_dir is not None:
+        prof_rows, prof_path = _profile_cell(
+            workload, config, base, sched=sched, max_cycles=max_cycles,
+            label=label or config, profile_dir=profile_dir,
+            top=profile_top)
     return BenchCell(
         workload=workload, config=label or config, scale=BENCH_SCALE,
         num_sms=base.gpu.num_sms, sched=sched,
@@ -148,13 +199,17 @@ def _run_cell(workload: str, config: str, num_sms: int | None, *,
                          if total_cycles else 0.0),
         events_processed=events,
         instructions=result.instructions,
-        digest=result_digest(result))
+        digest=result_digest(result),
+        profile=prof_rows,
+        profile_path=prof_path)
 
 
 def run_bench(*, sched: str = "active", suites=("sparse",),
               quick: bool = False, repeats: int = 2,
               max_cycles: int = 20_000_000, backend: str | None = None,
-              explore_best: str | None = None, progress=None) -> dict:
+              explore_best: str | None = None,
+              profile_dir: str | None = None, profile_top: int = 15,
+              progress=None) -> dict:
     """Run the pinned grid and return a report dict (see ``write_report``).
 
     ``progress`` is an optional callable taking one formatted line per
@@ -165,6 +220,9 @@ def run_bench(*, sched: str = "active", suites=("sparse",),
     ``best_configs.json`` written by ``repro explore``: its rank-1
     configuration is timed as one extra cell, labelled
     ``explore[<fitness>]:<config>`` so it never aliases a pinned cell.
+    ``profile_dir`` enables ``--profile``: one extra untimed cProfile
+    repeat per cell, with the top-``profile_top`` cumulative-time rows
+    recorded in the cell and the full pstats dumped as an artifact.
     """
     backend = backend or "hmc"
     if quick:
@@ -185,7 +243,8 @@ def run_bench(*, sched: str = "active", suites=("sparse",),
         cell = _run_cell(workload, config, num_sms, sched=sched,
                          repeats=repeats, max_cycles=max_cycles,
                          base=base,
-                         label=(config + suffix) if suffix else None)
+                         label=(config + suffix) if suffix else None,
+                         profile_dir=profile_dir, profile_top=profile_top)
         cells.append(cell)
         if progress is not None:
             progress(format_cell(cell))
@@ -194,7 +253,8 @@ def run_bench(*, sched: str = "active", suites=("sparse",),
         workload, config, base, label = best_bench_cell(explore_best)
         cell = _run_cell(workload, config, None, sched=sched,
                          repeats=repeats, max_cycles=max_cycles,
-                         base=base, label=label)
+                         base=base, label=label,
+                         profile_dir=profile_dir, profile_top=profile_top)
         cells.append(cell)
         if progress is not None:
             progress(format_cell(cell))
@@ -208,6 +268,7 @@ def run_bench(*, sched: str = "active", suites=("sparse",),
         "explore_best": os.path.basename(explore_best) if explore_best
                         else None,
         "repeats": repeats,
+        "profiled": profile_dir is not None,
         "unix_time": int(time.time()),
         "python": sys.version.split()[0],
         "cells": [asdict(c) for c in cells],

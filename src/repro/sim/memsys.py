@@ -94,6 +94,13 @@ class GPUMemSystem:
         # event stream is untouched.
         self.recovery = None
         self.timeouts = None
+        # Wake hook for MSHR-capacity parking: the active scheduler binds
+        # this to ``System._wake_sm`` so an L1 fill (which frees an MSHR
+        # entry and may insert the line a parked SM spins on) reactivates
+        # the owning SM.  Fired *before* the fill mutates cache state, so
+        # the settle-before-mutate invariant (I1) holds for the owed-cycle
+        # replay (docs/performance.md).
+        self.sm_waker: Callable[[int], None] | None = None
         self.rstats = BaselineRecoveryStats()
         self._fetches: dict[tuple[int, int], _FetchState] = {}
         self._watchdogs: list[tuple[int, int, int, int]] = []
@@ -122,15 +129,40 @@ class GPUMemSystem:
         self._xbar_free[part] = start + XBAR_SLOT
         delay = int(start) - now + XBAR_LATENCY
         self.xbar_queue_cycles += int(start) - now
-        self.engine.after(delay, lambda: self._l2_access(sm_id, line))
+        self.engine.call_after(delay, self._l2_access, sm_id, line)
         return True
+
+    def l1_would_reject(self, sm_id: int, line: int) -> bool:
+        """Side-effect-free pre-probe of the :meth:`load` admission path:
+        True iff a load of ``line`` from SM ``sm_id`` would be
+        structurally rejected right now (L1 miss + no outstanding MSHR
+        entry to merge into + MSHR file full).  Touches no counters and
+        no LRU state -- the active scheduler's park probe uses it to
+        decide whether a retry loop is pure spin (docs/performance.md).
+        """
+        if self.l1[sm_id].contains(line):
+            return False
+        mshr = self.l1_mshr[sm_id]
+        if mshr.outstanding(line):
+            return False
+        return len(mshr) >= mshr.num_entries
+
+    def replay_struct_rejects(self, sm_id: int, count: int) -> None:
+        """Account ``count`` elided MSHR-full retry attempts exactly as
+        the per-cycle loop would have: each is one L1 lookup miss plus one
+        MSHR reject.  Valid because a struct-parked SM's state is frozen
+        (any mutation wakes it first), so every elided retry is identical
+        to the last real one -- rejected lookups touch no LRU state."""
+        stats = self.l1_stats
+        stats.misses += count
+        stats.mshr_rejects += count
 
     def _l2_access(self, sm_id: int, line: int) -> None:
         part = self.amap.hmc_of(line * LINE_SIZE)
         l2 = self.l2[part]
         if l2.lookup(line):
-            self.engine.after(self.l2_latency,
-                              lambda: self._fill_l1(sm_id, line))
+            self.engine.call_after(self.l2_latency, self._fill_l1,
+                                   sm_id, line)
             return
         status = self.l2_mshr[part].allocate(
             line, lambda: self._fill_l1(sm_id, line))
@@ -264,6 +296,13 @@ class GPUMemSystem:
         # wake-ups funnel through SM.wake_warp — the active scheduler's
         # waker hook (invariants I1/I3, docs/performance.md).  Never call
         # this synchronously from another SM's tick.
+        #
+        # The explicit sm_waker fires first (settle against the frozen
+        # pre-fill state, I1): a struct-parked SM has no MSHR waiter
+        # registered for this line, so without it the freed entry/fresh
+        # line would never reactivate the SM.
+        if self.sm_waker is not None:
+            self.sm_waker(sm_id)
         self.l1[sm_id].insert(line)
         self.l1_mshr[sm_id].fill(line)
 

@@ -52,6 +52,14 @@ class System:
         self._wq = None              # WakeQueue while _run_active is live
         self._deferred_integral = 0  # active-warp-cycles owed by sleepers
         self._sm_wakes = 0
+        # Structural-reject parking: sm_id -> per-cycle counter cost for
+        # SMs parked mid-retry-loop (MSHR-full / inflight-cap spin).  The
+        # elided cycles' L1 miss + MSHR reject counters are replayed at
+        # wake/settle time; membership also vetoes fast-forward, because
+        # the legacy loop steps cycle-by-cycle while any SM can issue.
+        self._struct_cost: dict[int, int] = {}
+        self._struct_parks = 0
+        self._struct_replayed = 0
         self.engine = Engine()
         self.counters = LinkCounters()
         # Memory substrate: every substrate-specific decision (address
@@ -268,7 +276,8 @@ class System:
             engine.now += 1
 
         self.sched_stats = {"sm_ticks": self.phases.stepped * len(sms),
-                            "sm_wakes": 0}
+                            "sm_wakes": 0, "struct_parks": 0,
+                            "struct_replayed": 0}
         return self._collect()
 
     # -- active-set scheduling (see docs/performance.md) ---------------------
@@ -282,14 +291,23 @@ class System:
         state, exactly as the legacy loop would have classified them one
         cycle at a time.  A wake of an already-active SM is a no-op.
         """
-        since = self._wq.wake(sm.sm_id)
+        idx = sm.sm_id
+        since = self._wq.wake(idx)
         if since is None:
             return
         self._sm_wakes += 1
         owed = self.engine.now - since
+        cost = self._struct_cost.pop(idx, None)
         if owed > 0:
+            if cost:
+                self.memsys.replay_struct_rejects(idx, owed * cost)
+                self._struct_replayed += owed * cost
             sm.classify_idle_bulk(owed)
             self._deferred_integral += owed * sm.live_warps
+
+    def _wake_sm_id(self, sm_id: int) -> None:
+        """``memsys.sm_waker`` adapter: L1 fills address SMs by id."""
+        self._wake_sm(self.sms[sm_id])
 
     def _settle_asleep(self, now: int) -> None:
         """Settle every parked SM's idle accounting through ``now``
@@ -303,10 +321,15 @@ class System:
         """
         wq = self._wq
         sms = self.sms
+        struct_cost = self._struct_cost
         for idx, since in wq.asleep_items():
             owed = now - since + 1
             if owed > 0:
                 sm = sms[idx]
+                cost = struct_cost.get(idx)
+                if cost:
+                    self.memsys.replay_struct_rejects(idx, owed * cost)
+                    self._struct_replayed += owed * cost
                 sm.classify_idle_bulk(owed)
                 self._deferred_integral += owed * sm.live_warps
                 wq.set_since(idx, now + 1)
@@ -360,6 +383,13 @@ class System:
         wake_sm = self._wake_sm
         for sm in sms:
             sm.waker = wake_sm
+        # MSHR-capacity wake hook: a struct-parked SM registers no MSHR
+        # waiter, so the L1 fill path must reactivate it explicitly.
+        memsys.sm_waker = self._wake_sm_id
+        self._struct_cost = {}
+        struct_cost = self._struct_cost
+        self._struct_parks = 0
+        self._struct_replayed = 0
         # Every NSU shares one clock ratio, every accumulator sees the same
         # step/step_many sequence, so their fractional states are always
         # equal: one accumulator decides how many NSU cycles elapse for all
@@ -391,9 +421,10 @@ class System:
                     live = 0
                     since = now + 1
                     parks = None
+                    struct_parks = None
                     for idx in act:
                         sm = sms[idx]
-                        sm.tick()
+                        issued = sm.tick()
                         live += len(sm.warps)
                         if not (sm.ready or (sm.pending_traces
                                              and len(sm.warps)
@@ -402,6 +433,17 @@ class System:
                                 parks = [idx]
                             else:
                                 parks.append(idx)
+                        elif not issued:
+                            # Retry loop?  If every warp the scheduler
+                            # would try next cycle is a pure structural
+                            # load reject, park and replay the elided
+                            # cycles' counters at wake time.
+                            cost = sm.struct_park_probe()
+                            if cost is not None:
+                                if struct_parks is None:
+                                    struct_parks = [(idx, cost)]
+                                else:
+                                    struct_parks.append((idx, cost))
                     if len(act) != n_act:   # pragma: no cover - see I3
                         raise RuntimeError(
                             "synchronous cross-SM wake during the tick "
@@ -409,6 +451,11 @@ class System:
                     if parks is not None:
                         for idx in parks:
                             wq.park(idx, since)
+                    if struct_parks is not None:
+                        for idx, cost in struct_parks:
+                            wq.park(idx, since)
+                            struct_cost[idx] = cost
+                        self._struct_parks += len(struct_parks)
                     active_integral += live
                     sm_ticks += n_act
                 stepped += 1
@@ -453,7 +500,12 @@ class System:
 
                 # Generalized fast-forward: with every SM parked and no NSU
                 # holding issuable work, jump to the next external stimulus.
-                if not act and not any(n.has_ready for n in nsus):
+                # Struct-parked SMs veto the jump: the legacy loop steps
+                # cycle-by-cycle while any SM holds issuable work, and the
+                # stepped-cycle sets must stay identical (epoch boundaries
+                # land in the digest via the epoch log).
+                if not act and not struct_cost and not any(
+                        n.has_ready for n in nsus):
                     nt = engine.next_event_time()
                     if rec:
                         wd = ndp.next_watchdog_deadline()
@@ -486,11 +538,14 @@ class System:
         finally:
             for sm in sms:
                 sm.waker = None
+            memsys.sm_waker = None
             self._wq = None
             phases.stepped += stepped
             phases.fast_forwarded += fast_forwarded
             self.sched_stats = {"sm_ticks": sm_ticks,
-                                "sm_wakes": self._sm_wakes}
+                                "sm_wakes": self._sm_wakes,
+                                "struct_parks": self._struct_parks,
+                                "struct_replayed": self._struct_replayed}
 
         return self._collect()
 

@@ -367,6 +367,69 @@ class TestFacadeDrift:
 
 
 # ---------------------------------------------------------------------------
+# perf rules
+# ---------------------------------------------------------------------------
+
+class TestHotPathAllocation:
+    ENGINE_LAMBDA = (
+        "class Engine:\n"
+        "    def process_due(self):\n"
+        "        self.cb = lambda: None\n")
+
+    def test_engine_method_lambda_flagged(self, tmp_path):
+        hits = by_rule(lint_pkg(
+            tmp_path, {"sim/engine.py": self.ENGINE_LAMBDA}), "PERF001")
+        assert len(hits) == 1
+        assert "process_due" in hits[0].message
+
+    def test_tick_method_closure_flagged(self, tmp_path):
+        src = ("class SM:\n"
+               "    def tick(self):\n"
+               "        def cb():\n"
+               "            return self\n"
+               "        self.cb = cb\n")
+        hits = by_rule(lint_pkg(tmp_path, {"gpu/sm.py": src}), "PERF001")
+        assert len(hits) == 1
+        assert "nested function 'cb'" in hits[0].message
+
+    def test_partial_in_tick_flagged(self, tmp_path):
+        src = ("import functools\n"
+               "class NSU:\n"
+               "    def tick(self):\n"
+               "        self.cb = functools.partial(print, 1)\n")
+        hits = by_rule(lint_pkg(tmp_path, {"core/nsu.py": src}), "PERF001")
+        assert len(hits) == 1
+
+    def test_alloc_ok_annotation_allows(self, tmp_path):
+        src = ("class Engine:\n"
+               "    def process_due(self):\n"
+               "        self.cb = lambda: None"
+               "  # perf: alloc-ok -- once per drain, not per event\n")
+        assert not by_rule(lint_pkg(
+            tmp_path, {"sim/engine.py": src}), "PERF001")
+
+    def test_alloc_ok_without_reason_is_a_finding(self, tmp_path):
+        src = ("class Engine:\n"
+               "    def process_due(self):\n"
+               "        self.cb = lambda: None  # perf: alloc-ok\n")
+        hits = by_rule(lint_pkg(tmp_path, {"sim/engine.py": src}),
+                       "PERF001")
+        assert any("without a reason" in f.message for f in hits)
+
+    def test_cold_functions_and_modules_unflagged(self, tmp_path):
+        # non-hot method in the engine module's other classes, and a
+        # tick() outside the sim path, are both fine
+        engine = ("class WakeQueue:\n"
+                  "    def park(self):\n"
+                  "        self.cb = lambda: None\n")
+        serve = ("class Shard:\n"
+                 "    def tick(self):\n"
+                 "        self.cb = lambda: None\n")
+        assert not by_rule(lint_pkg(tmp_path, {
+            "sim/engine.py": engine, "serve/shard.py": serve}), "PERF001")
+
+
+# ---------------------------------------------------------------------------
 # baseline + reporters
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,219 @@
+"""Tests for the allocation-rate machinery: pooled event records with
+generation stamps, the DRAMRequest free list and its reset() contract,
+hop-walk recycling in the memory network, the vectorized FR-FCFS pick,
+and MSHR-full structural parking (docs/performance.md)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig, ci_config
+from repro.faults import get_scenario
+from repro.memory.dram import DRAMTimingSM
+from repro.memory.vault import (VEC_PICK_THRESHOLD, DRAMRequest,
+                                DRAMRequestPool, DRAMStats, VaultController)
+from repro.network.fabric import MemoryNetwork
+from repro.sim.engine import Engine, LinkCounters
+from repro.sim.runner import build_system
+from repro.sim.serialize import result_digest
+
+
+class TestEventRecycling:
+    def test_cancel_prevents_dispatch(self):
+        e = Engine()
+        fired = []
+        rec, gen = e.call_after(3, fired.append, "x")
+        assert e.cancel(rec, gen) is True
+        e.drain()
+        assert fired == []
+        assert e.metrics_snapshot()["events_cancelled"] == 1
+
+    def test_cancel_is_single_shot(self):
+        e = Engine()
+        rec, gen = e.call_after(3, lambda: None)
+        assert e.cancel(rec, gen) is True
+        assert e.cancel(rec, gen) is False
+
+    def test_stale_generation_rejected_after_recycle(self):
+        # Once an event fires, its record returns to the pool and its
+        # generation bumps; a cancel with the stale handle must neither
+        # succeed nor disturb the record's next occupant.
+        e = Engine()
+        first, second = [], []
+        rec1, gen1 = e.call_after(1, first.append, 1)
+        e.drain()
+        assert first == [1]
+        rec2, gen2 = e.call_after(1, second.append, 2)
+        assert rec2 is rec1          # LIFO free list reuses the record
+        assert gen2 != gen1
+        assert e.cancel(rec1, gen1) is False
+        e.drain()
+        assert second == [2]
+
+    def test_recycle_metrics_exported(self):
+        e = Engine()
+        for i in range(1, 6):
+            e.after(i, lambda: None)
+        e.drain()
+        snap = e.metrics_snapshot()
+        assert snap["events_recycled"] == 5
+        assert snap["event_pool_free"] > 0
+
+    def test_cancelled_event_keeps_pending_until_drained(self):
+        # Tombstones stay in the queue until their cycle passes; the
+        # run loop's termination check (engine.pending) must still see
+        # them so time advances past the cancelled slot.
+        e = Engine()
+        rec, gen = e.call_after(2, lambda: None)
+        e.cancel(rec, gen)
+        assert e.pending == 1
+        e.drain()
+        assert e.pending == 0
+
+
+class TestDRAMRequestPool:
+    def test_reset_completeness(self):
+        # A recycled record must be field-for-field equal to a freshly
+        # constructed one -- the recycle invariant.  Dataclass equality
+        # compares every field, so a field added without a reset() line
+        # fails here.
+        pool = DRAMRequestPool()
+        req = pool.acquire(0x1234, True, lambda r: None, bank=3, row=7,
+                           extra_latency=11, meta={"k": 1},
+                           on_lost=lambda r: None)
+        pool.release(req)
+        assert req == DRAMRequest(0, False, None)
+
+    def test_acquire_reuses_released_records(self):
+        pool = DRAMRequestPool()
+        req = pool.acquire(1, False, None)
+        pool.release(req)
+        again = pool.acquire(2, True, None, bank=5)
+        assert again is req
+        assert (again.line_addr, again.is_write, again.bank) == (2, True, 5)
+        assert pool.metrics_snapshot() == {
+            "created": 1, "reused": 1, "released": 1, "free": 0}
+
+    def test_double_free_raises(self):
+        pool = DRAMRequestPool()
+        req = pool.acquire(1, False, None)
+        pool.release(req)
+        with pytest.raises(ValueError, match="double-free"):
+            pool.release(req)
+
+    def test_foreign_record_rejected(self):
+        # Directly-constructed requests (tests, ad-hoc callers) are not
+        # pool-owned and must never enter the free list.
+        pool = DRAMRequestPool()
+        with pytest.raises(ValueError):
+            pool.release(DRAMRequest(1, False, None))
+
+    def test_fault_replay_never_double_frees(self):
+        # vault-read-loss exercises every release path: normal
+        # completion, loss with an on_lost reissue, and loss with no
+        # listener (released at service time).  A double-free would
+        # raise inside the run; afterwards conservation must hold:
+        # every acquired record was released exactly once.
+        plan = get_scenario("vault-read-loss", rate=0.05, seed=1)
+        system = build_system("VADD", "Baseline", base=ci_config(),
+                              scale="ci", faults=plan)
+        system.run(max_cycles=2_000_000)
+        pools = [stack.pool for stack in system.hmcs]
+        assert any(p.created + p.reused > 0 for p in pools)
+        for p in pools:
+            assert p.created + p.reused == p.released
+            assert p.free == p.created
+
+
+class TestHopWalkRecycling:
+    def test_walk_recycled_and_reset_after_delivery(self):
+        e = Engine()
+        cfg = SystemConfig()
+        net = MemoryNetwork(e, cfg, LinkCounters())
+        delivered = []
+        net.send(0, 3, 128, lambda: delivered.append(e.now))
+        e.drain()
+        assert len(delivered) == 1
+        assert len(net._walks) == 1
+        walk = net._walks[0]
+        assert (walk.path, walk.hop, walk.size, walk.deliver) == \
+            (None, 0, 0, None)
+
+    def test_walks_reused_across_packets(self):
+        e = Engine()
+        cfg = SystemConfig()
+        net = MemoryNetwork(e, cfg, LinkCounters())
+        done = []
+        net.send(0, 3, 128, lambda: done.append("a"))
+        e.drain()
+        first = net._walks[0]
+        net.send(1, 2, 64, lambda: done.append("b"))
+        assert not net._walks       # the recycled record is in flight
+        e.drain()
+        assert done == ["a", "b"]
+        assert net._walks[0] is first
+
+
+class TestVectorizedPick:
+    def test_vec_matches_scalar_randomized(self):
+        # The numpy window scan must make the identical FR-FCFS decision
+        # as the Python loop for any bank/queue state -- the dispatch
+        # threshold can then never change a simulation result.
+        rng = np.random.default_rng(42)
+        e = Engine()
+        cfg = SystemConfig()
+        t = DRAMTimingSM.from_config(cfg.hmc.timing, cfg.gpu.sm_clock_mhz,
+                                     32)
+        for _ in range(200):
+            vault = VaultController(e, t, num_banks=16, stats=DRAMStats())
+            now = int(rng.integers(0, 150))
+            for bank in vault.banks:
+                bank.busy_until = int(rng.integers(0, 300))
+                if rng.random() < 0.5:
+                    bank.open_row = int(rng.integers(0, 4))
+            n = int(rng.integers(VEC_PICK_THRESHOLD, 64))
+            for _ in range(n):
+                vault.queue.append(DRAMRequest(
+                    0, False, None, bank=int(rng.integers(0, 16)),
+                    row=int(rng.integers(0, 4))))
+            assert (vault._pick_index_scalar(now, n)
+                    == vault._pick_index_vec(now, n))
+
+    def test_dispatch_uses_vec_only_above_threshold(self):
+        e = Engine()
+        cfg = SystemConfig()
+        t = DRAMTimingSM.from_config(cfg.hmc.timing, cfg.gpu.sm_clock_mhz,
+                                     32)
+        vault = VaultController(e, t, num_banks=16, stats=DRAMStats())
+        for _ in range(3):
+            vault.queue.append(DRAMRequest(0, False, None, bank=0, row=0))
+        # tiny window: must take the scalar path (numpy setup would
+        # dominate) and still pick the oldest request
+        assert vault._pick_index(0) == (0, 0)
+
+
+class TestStructuralParking:
+    def test_mshr_full_parks_without_perturbing_counters(self):
+        # Starve the L1 MSHR file so loads hit structural rejects; the
+        # active scheduler must park those SMs (fewer sm_ticks, parks
+        # observed) while replaying the exact miss/reject counters the
+        # legacy cycle-by-cycle scheduler accrues -- proven by digest
+        # identity, since l1 stats are part of the result.
+        base = ci_config()
+        base = dataclasses.replace(
+            base, gpu=dataclasses.replace(
+                base.gpu, l1d=dataclasses.replace(
+                    base.gpu.l1d, mshr_entries=1)))
+        results = {}
+        for sched in ("active", "legacy"):
+            system = build_system("VADD", "Baseline", base=base,
+                                  scale="ci", sched=sched)
+            res = system.run(max_cycles=2_000_000)
+            results[sched] = (result_digest(res), dict(system.sched_stats))
+        act_digest, act_stats = results["active"]
+        leg_digest, leg_stats = results["legacy"]
+        assert act_digest == leg_digest
+        assert act_stats["struct_parks"] > 0
+        assert act_stats["struct_replayed"] > 0
+        assert act_stats["sm_ticks"] < leg_stats["sm_ticks"]
